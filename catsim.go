@@ -1,0 +1,133 @@
+// Package catsim is a from-scratch Go reproduction of "Mitigating Wordline
+// Crosstalk using Adaptive Trees of Counters" (Seyedzadeh, Jones, Melhem —
+// ISCA 2018): the Counter-based Adaptive Tree (CAT) rowhammer/crosstalk
+// mitigation with its PRCAT and DRCAT deployment schemes, the SCA, PRA and
+// counter-cache baselines, and the full simulation substrate (DDR3 memory
+// system, synthetic MSC-like workloads, energy and reliability models)
+// needed to regenerate every table and figure of the paper's evaluation.
+//
+// This package is a thin facade over the internal packages for downstream
+// users; see README.md for the architecture and cmd/experiments for the
+// reproduction harness.
+//
+//	tree, _ := catsim.NewTree(catsim.TreeConfig{
+//	    Rows: 65536, Counters: 64, MaxLevels: 11,
+//	    RefreshThreshold: 32768, Policy: catsim.DRCAT,
+//	})
+//	lo, hi, refresh := tree.Access(row) // refresh => refresh rows lo..hi
+package catsim
+
+import (
+	"io"
+
+	"catsim/internal/core"
+	"catsim/internal/dram"
+	"catsim/internal/experiments"
+	"catsim/internal/mitigation"
+	"catsim/internal/sim"
+	"catsim/internal/trace"
+)
+
+// Tree is one Counter-based Adaptive Tree instance (one per DRAM bank).
+type Tree = core.Tree
+
+// TreeConfig parameterises a CAT (N rows, M counters, L levels, T, policy).
+type TreeConfig = core.Config
+
+// Tree policies (what happens at auto-refresh interval boundaries).
+const (
+	// PRCAT rebuilds the tree every interval (paper §V-A).
+	PRCAT = core.PRCAT
+	// DRCAT keeps the learned shape and reconfigures dynamically (§V-B).
+	DRCAT = core.DRCAT
+)
+
+// NewTree builds a CAT in its initial pre-split shape.
+func NewTree(cfg TreeConfig) (*Tree, error) { return core.NewTree(cfg) }
+
+// NewLadder returns the default split-threshold ladder for M counters, L
+// levels and refresh threshold T (the paper's published values for the
+// canonical M=64, L=10 configuration, resampled elsewhere).
+func NewLadder(m, l int, t uint32) []uint32 { return core.NewLadder(m, l, t) }
+
+// Scheme is a crosstalk-mitigation mechanism covering all banks.
+type Scheme = mitigation.Scheme
+
+// NewSCA builds the Static Counter Assignment baseline (m uniform group
+// counters per bank).
+func NewSCA(banks, rowsPerBank, m int, threshold uint32) (Scheme, error) {
+	return mitigation.NewSCA(banks, rowsPerBank, m, threshold)
+}
+
+// NewCAT builds a PRCAT/DRCAT scheme with one tree per bank.
+func NewCAT(banks int, cfg TreeConfig) (Scheme, error) {
+	return mitigation.NewCAT(banks, cfg)
+}
+
+// Geometry describes a DRAM system; Default2Channel is the paper's
+// dual-core baseline (16 GB, 16 banks, 64K rows/bank).
+type Geometry = dram.Geometry
+
+// Default2Channel returns the paper's Table I geometry.
+func Default2Channel() Geometry { return dram.Default2Channel() }
+
+// SimConfig configures a full-system simulation run.
+type SimConfig = sim.Config
+
+// SimResult is the outcome of one run (CMRPO breakdown, timing, counts).
+type SimResult = sim.Result
+
+// Run executes one full-system simulation.
+func Run(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
+
+// RunPair runs a scheme against its no-mitigation baseline and reports the
+// execution-time overhead.
+func RunPair(cfg SimConfig) (sim.PairResult, error) { return sim.RunPair(cfg) }
+
+// Workloads returns the paper's 18 named synthetic workload models.
+func Workloads() []trace.Spec { return trace.Workloads() }
+
+// ExperimentOptions configures the figure/table generators.
+type ExperimentOptions = experiments.Options
+
+// ReproduceAll regenerates every table and figure to w (see
+// cmd/experiments for per-figure control).
+func ReproduceAll(w io.Writer, o ExperimentOptions) error {
+	if err := experiments.Table1(w); err != nil {
+		return err
+	}
+	if _, err := experiments.Table2(w); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig1(w); err != nil {
+		return err
+	}
+	if _, err := experiments.LFSRStudy(w, 100); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig2(w, o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig3(w, o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig8(w, o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig9(w, o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig10(w, o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig11(w, o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig12(w, o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig13(w, o); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package catsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"catsim/internal/experiments"
+	"catsim/internal/mitigation"
+	"catsim/internal/sim"
+	"catsim/internal/trace"
+)
+
+func TestFacadeTree(t *testing.T) {
+	tree, err := NewTree(TreeConfig{
+		Rows: 1 << 12, Counters: 16, MaxLevels: 9,
+		RefreshThreshold: 128, Policy: DRCAT,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	for i := 0; i < 128; i++ {
+		if lo, hi, refresh := tree.Access(777); refresh {
+			fired = true
+			if lo > 776 || hi < 778 {
+				t.Errorf("refresh [%d,%d] misses the victims of row 777", lo, hi)
+			}
+		}
+	}
+	if !fired {
+		t.Error("no refresh within T activations")
+	}
+}
+
+func TestFacadeLadder(t *testing.T) {
+	ladder := NewLadder(64, 10, 32768)
+	if ladder[5] != 5155 || ladder[9] != 32768 {
+		t.Errorf("ladder = %v", ladder)
+	}
+}
+
+func TestFacadeSchemes(t *testing.T) {
+	sca, err := NewSCA(2, 1<<10, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sca.Name() != "SCA_8" {
+		t.Errorf("name = %s", sca.Name())
+	}
+	cat, err := NewCAT(2, TreeConfig{
+		Rows: 1 << 10, Counters: 8, MaxLevels: 6, RefreshThreshold: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Kind() != mitigation.KindPRCAT {
+		t.Errorf("kind = %v", cat.Kind())
+	}
+}
+
+func TestFacadeGeometryAndWorkloads(t *testing.T) {
+	if g := Default2Channel(); g.TotalBanks() != 16 {
+		t.Errorf("banks = %d", g.TotalBanks())
+	}
+	if w := Workloads(); len(w) != 18 {
+		t.Errorf("workloads = %d", len(w))
+	}
+}
+
+func TestFacadeRunPair(t *testing.T) {
+	wl, err := trace.Lookup("black")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := RunPair(SimConfig{
+		Cores: 2, RequestsPerCore: 30_000, Workload: wl,
+		Scheme:    sim.SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+		Threshold: 1024, ThresholdScale: 0.03, IntervalNS: 2e6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Scheme.CMRPO <= 0 {
+		t.Error("CMRPO must be positive for DRCAT (static floor)")
+	}
+}
+
+func TestReproduceAllAnalyticPieces(t *testing.T) {
+	// Only the cheap pieces; the figure sweeps have their own tests.
+	var buf bytes.Buffer
+	if err := experiments.Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := experiments.Fig1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Chipkill") || !strings.Contains(out, "Table I") {
+		t.Error("missing sections")
+	}
+}

@@ -1,0 +1,143 @@
+// Command catsim runs one crosstalk-mitigation simulation and reports the
+// CMRPO breakdown and execution-time overhead.
+//
+// Usage:
+//
+//	catsim -workload black -scheme DRCAT -counters 64 -levels 11 -threshold 32768
+//	catsim -workload comm1 -scheme PRA -threshold 16384
+//	catsim -workload face -scheme SCA -counters 128 -attack heavy -kernel 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"catsim/internal/dram"
+	"catsim/internal/mitigation"
+	"catsim/internal/sim"
+	"catsim/internal/trace"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "comm1", "workload name (see -list)")
+		scheme    = flag.String("scheme", "DRCAT", "scheme: SCA, PRA, PRCAT, DRCAT, CC, None")
+		counters  = flag.Int("counters", 64, "counters per bank (SCA/CAT) or cache entries (CC)")
+		levels    = flag.Int("levels", 11, "maximum CAT levels L")
+		threshold = flag.Uint("threshold", 32768, "refresh threshold T")
+		praP      = flag.Float64("p", 0, "PRA probability (0 = paper's value for T)")
+		cores     = flag.Int("cores", 2, "number of cores")
+		quad      = flag.Bool("quad", false, "quad-core geometry (128K rows/bank)")
+		fourCh    = flag.Bool("4ch", false, "4-channel parallelism-maximising mapping")
+		scale     = flag.Float64("scale", 0.25, "run scale (1 = one full 64 ms interval)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		attack    = flag.String("attack", "", "kernel attack mode: heavy, medium, light")
+		kernel    = flag.Int("kernel", 0, "kernel attack number (0..11)")
+		oracle    = flag.Bool("oracle", false, "attach the crosstalk oracle (verifies protection)")
+		list      = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range trace.Workloads() {
+			fmt.Printf("%-8s %-6s gap=%-4d hot=%.2f sweep=%.2f spots=%d\n",
+				s.Name, s.Suite, s.GapMean, s.HotFraction, s.SweepFraction, s.HotSpots)
+		}
+		return
+	}
+
+	wl, err := trace.Lookup(*workload)
+	fatal(err)
+
+	var spec sim.SchemeSpec
+	switch strings.ToUpper(*scheme) {
+	case "SCA":
+		spec = sim.SchemeSpec{Kind: mitigation.KindSCA, Counters: *counters}
+	case "PRA":
+		p := *praP
+		if p == 0 {
+			p = mitigation.PRAProbabilityForThreshold(uint32(*threshold))
+		}
+		spec = sim.SchemeSpec{Kind: mitigation.KindPRA, PRAProb: p}
+	case "PRCAT":
+		spec = sim.SchemeSpec{Kind: mitigation.KindPRCAT, Counters: *counters, MaxLevels: *levels}
+	case "DRCAT":
+		spec = sim.SchemeSpec{Kind: mitigation.KindDRCAT, Counters: *counters, MaxLevels: *levels}
+	case "CC":
+		spec = sim.SchemeSpec{Kind: mitigation.KindCounterCache, Counters: *counters}
+	case "NONE":
+		spec = sim.SchemeSpec{Kind: mitigation.KindNone}
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	geom := dram.Default2Channel()
+	if *quad {
+		geom = dram.QuadCore2Channel()
+	}
+	if *fourCh {
+		if *quad {
+			geom = dram.QuadCore4Channel()
+		} else {
+			geom = dram.Default4Channel()
+		}
+	}
+	cfg := sim.Config{
+		Geometry:           geom,
+		ChannelInterleaved: *fourCh,
+		Cores:              *cores,
+		RequestsPerCore:    int(204.8e6 / float64(wl.GapMean) * *scale),
+		Workload:           wl,
+		Scheme:             spec,
+		Threshold:          uint32(float64(*threshold) * *scale),
+		ThresholdScale:     *scale,
+		IntervalNS:         dram.RefreshIntervalNS() * *scale,
+		Seed:               *seed,
+		CheckProtection:    *oracle,
+	}
+	if *attack != "" {
+		var mode trace.AttackMode
+		switch strings.ToLower(*attack) {
+		case "heavy":
+			mode = trace.Heavy
+		case "medium":
+			mode = trace.Medium
+		case "light":
+			mode = trace.Light
+		default:
+			fatal(fmt.Errorf("unknown attack mode %q", *attack))
+		}
+		cfg.Attack = &sim.AttackConfig{Kernel: *kernel, Mode: mode}
+	}
+
+	pair, err := sim.RunPair(cfg)
+	fatal(err)
+	r := pair.Scheme
+	fmt.Printf("workload   %s (%s)\n", wl.Name, wl.Suite)
+	fmt.Printf("scheme     %s, T=%d (scale %.2f)\n", spec.Label(uint32(*threshold)), *threshold, *scale)
+	fmt.Printf("exec       %.3f ms (baseline %.3f ms)\n", r.ExecNS/1e6, pair.Baseline.ExecNS/1e6)
+	fmt.Printf("activations %d, victim rows refreshed %d (%d commands)\n",
+		r.Counts.Activations, r.Counts.RowsRefreshed, r.Counts.RefreshEvents)
+	fmt.Printf("read latency %.1f ns avg\n", r.AvgReadLatencyNS)
+	b := r.Breakdown
+	fmt.Printf("CMRPO      %.2f%%  (dynamic %.3f%% static %.3f%% refresh %.3f%% prng %.3f%% miss %.3f%%)\n",
+		r.CMRPO*100, b.DynamicMW/2.5*100, b.StaticMW/2.5*100, b.RefreshMW/2.5*100,
+		b.PRNGMW/2.5*100, b.MissMW/2.5*100)
+	fmt.Printf("ETO        %.3f%%\n", pair.ETO*100)
+	if *oracle {
+		verdict := "protection verified: no victim exceeded T"
+		if r.OracleViolations > 0 {
+			verdict = fmt.Sprintf("PROTECTION VIOLATED %d times", r.OracleViolations)
+		}
+		fmt.Printf("oracle     %s\n", verdict)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale 0.25] [-seed 1] [-workloads a,b,c] [targets...]
+//
+// Targets: table1 table2 fig1 lfsr fig2 fig3 fig8 fig9 fig10 fig11 fig12
+// fig13 all (default: all). Scale 1 reproduces full 64 ms intervals;
+// smaller scales shrink interval, threshold and traffic together (rates
+// stay representative, see internal/experiments).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"catsim/internal/experiments"
+)
+
+func main() {
+	var (
+		scale     = flag.Float64("scale", 0.25, "experiment scale (1 = paper scale)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workloads = flag.String("workloads", "", "comma-separated workload subset")
+		intervals = flag.Int("intervals", 1, "auto-refresh intervals per run")
+		trials    = flag.Int("lfsr-trials", 200, "Monte-Carlo trials for the LFSR study")
+		quiet     = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Scale: *scale, Seed: *seed, Quiet: *quiet, Intervals: *intervals}
+	if *workloads != "" {
+		o.Workloads = strings.Split(*workloads, ",")
+	}
+
+	targets := flag.Args()
+	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
+		targets = []string{"table1", "table2", "fig1", "lfsr", "fig2", "fig3",
+			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablations", "headlines"}
+	}
+
+	w := os.Stdout
+	for _, target := range targets {
+		start := time.Now()
+		fmt.Fprintf(w, "==== %s (scale %.2f) ====\n", target, *scale)
+		var err error
+		switch target {
+		case "table1":
+			err = experiments.Table1(w)
+		case "table2":
+			_, err = experiments.Table2(w)
+		case "fig1":
+			_, err = experiments.Fig1(w)
+		case "lfsr":
+			_, err = experiments.LFSRStudy(w, *trials)
+		case "fig2":
+			_, err = experiments.Fig2(w, o)
+		case "fig3":
+			_, err = experiments.Fig3(w, o)
+		case "fig8":
+			_, err = experiments.Fig8(w, o)
+		case "fig9":
+			_, err = experiments.Fig9(w, o)
+		case "fig10":
+			_, err = experiments.Fig10(w, o)
+		case "fig11":
+			_, err = experiments.Fig11(w, o)
+		case "fig12":
+			_, err = experiments.Fig12(w, o)
+		case "fig13":
+			_, err = experiments.Fig13(w, o)
+		case "headlines":
+			_, err = experiments.Headlines(w, o)
+		case "ablations":
+			if _, err = experiments.AblationLadders(w, o); err == nil {
+				if _, err = experiments.AblationWeightBits(w, o); err == nil {
+					if _, err = experiments.AblationPreSplit(w, o); err == nil {
+						ccOpts := o
+						if len(ccOpts.Workloads) == 0 {
+							ccOpts.Workloads = []string{"black", "comm1", "face", "libq"}
+						}
+						_, err = experiments.AblationCounterCache(w, ccOpts)
+					}
+				}
+			}
+		default:
+			err = fmt.Errorf("unknown target %q", target)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "---- %s done in %v ----\n\n", target, time.Since(start).Round(time.Millisecond))
+	}
+}

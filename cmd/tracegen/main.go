@@ -1,0 +1,72 @@
+// Command tracegen inspects the synthetic workload models: it dumps raw
+// request streams or per-bank row-access histograms (the measurement behind
+// the paper's Fig. 3).
+//
+// Usage:
+//
+//	tracegen -workload black -n 20 -dump          # raw requests
+//	tracegen -workload black -n 2000000 -hist     # bank histogram summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"catsim/internal/addrmap"
+	"catsim/internal/dram"
+	"catsim/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "black", "workload name")
+		n        = flag.Int("n", 1_000_000, "requests to generate")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		dump     = flag.Bool("dump", false, "dump raw requests to stdout")
+		hist     = flag.Bool("hist", true, "print per-bank histogram summary")
+	)
+	flag.Parse()
+
+	wl, err := trace.Lookup(*workload)
+	fatal(err)
+	geom := dram.Default2Channel()
+	gen, err := trace.NewSynthetic(wl, geom.TotalBytes(), geom.LineBytes, *seed)
+	fatal(err)
+	policy, err := addrmap.NewRowInterleaved(geom)
+	fatal(err)
+
+	if *dump {
+		for i := 0; i < *n; i++ {
+			r := gen.Next()
+			c := policy.Decode(r.Addr)
+			op := "R"
+			if r.Write {
+				op = "W"
+			}
+			fmt.Printf("%s 0x%012x gap=%-4d ch=%d rk=%d bk=%d row=%-6d col=%d\n",
+				op, r.Addr, r.Gap, c.Bank.Channel, c.Bank.Rank, c.Bank.Bank, c.Row, c.Col)
+		}
+		return
+	}
+	if *hist {
+		h := trace.RowHistogram(gen, geom, policy, *n)
+		fmt.Printf("workload %s: %d requests over %d banks\n", wl.Name, *n, geom.TotalBanks())
+		fmt.Println("bank  accesses  rows  max/row  top16-share")
+		for b, rows := range h {
+			s := trace.Summarise(rows)
+			if s.Total == 0 {
+				continue
+			}
+			fmt.Printf("%4d  %8d  %4d  %7d  %10.1f%%\n",
+				b, s.Total, s.TouchedRows, s.MaxPerRow, s.Top16Frac*100)
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

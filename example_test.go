@@ -1,0 +1,43 @@
+package catsim_test
+
+import (
+	"fmt"
+
+	"catsim"
+)
+
+// ExampleNewTree demonstrates the deterministic protection guarantee: a
+// hammered row triggers a victim refresh at exactly the threshold.
+func ExampleNewTree() {
+	tree, err := catsim.NewTree(catsim.TreeConfig{
+		Rows:             4096,
+		Counters:         16,
+		MaxLevels:        9,
+		RefreshThreshold: 1000,
+		Policy:           catsim.DRCAT,
+	})
+	if err != nil {
+		panic(err)
+	}
+	const aggressor = 2048
+	for i := 1; ; i++ {
+		if lo, hi, refresh := tree.Access(aggressor); refresh {
+			fmt.Printf("refresh after %d activations, rows [%d, %d]\n", i, lo, hi)
+			fmt.Printf("victims %d and %d covered: %v\n",
+				aggressor-1, aggressor+1, lo <= aggressor-1 && aggressor+1 <= hi)
+			return
+		}
+	}
+	// Output:
+	// refresh after 1000 activations, rows [2047, 2064]
+	// victims 2047 and 2049 covered: true
+}
+
+// ExampleNewLadder shows the paper's published split thresholds for the
+// canonical configuration (M=64 counters, L=10 levels, T=32768).
+func ExampleNewLadder() {
+	ladder := catsim.NewLadder(64, 10, 32768)
+	fmt.Println(ladder[5:])
+	// Output:
+	// [5155 10309 12886 16384 32768]
+}

@@ -1,0 +1,69 @@
+// Quickstart: build one Counter-based Adaptive Tree, hammer a row, and
+// watch the tree split toward the aggressor and fire a deterministic victim
+// refresh at exactly the threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"catsim"
+)
+
+func main() {
+	// One bank with 64K rows, 64 counters, trees up to 11 levels, and the
+	// paper's refresh threshold of 32K activations (DDR3-era crosstalk).
+	tree, err := catsim.NewTree(catsim.TreeConfig{
+		Rows:             64 * 1024,
+		Counters:         64,
+		MaxLevels:        11,
+		RefreshThreshold: 32 * 1024,
+		Policy:           catsim.DRCAT,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("initial tree: uniform pre-split (λ = log2 M = 6 levels)")
+	printShape(tree)
+
+	// A rowhammer-style aggressor at row 31337.
+	const aggressor = 31337
+	accesses := 0
+	for {
+		accesses++
+		lo, hi, refresh := tree.Access(aggressor)
+		if refresh {
+			fmt.Printf("\nafter %d activations of row %d:\n", accesses, aggressor)
+			fmt.Printf("  -> refresh command for rows [%d, %d] (%d rows)\n", lo, hi, hi-lo+1)
+			fmt.Printf("     victims %d and %d are covered before crosstalk can flip them\n",
+				aggressor-1, aggressor+1)
+			break
+		}
+	}
+
+	fmt.Println("\ntree after the attack: counters concentrated on the hot region")
+	printShape(tree)
+
+	s := tree.Stats()
+	fmt.Printf("\nstats: %d accesses, %d splits, %d refresh command(s), %d rows refreshed\n",
+		s.Accesses, s.Splits, s.RefreshEvents, s.RowsRefreshed)
+}
+
+// printShape summarises the leaves by depth and shows the finest ones.
+func printShape(t *catsim.Tree) {
+	depthCount := map[int]int{}
+	finest := -1
+	for _, l := range t.Leaves() {
+		depthCount[l.Depth]++
+		if l.Depth > finest {
+			finest = l.Depth
+		}
+	}
+	for d := 0; d <= finest; d++ {
+		if n := depthCount[d]; n > 0 {
+			fmt.Printf("  depth %2d: %2d counters (each covering %5d rows)\n",
+				d, n, t.Config().Rows>>uint(d))
+		}
+	}
+}

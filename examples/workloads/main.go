@@ -1,0 +1,69 @@
+// Workloads: run the paper's workload models through the full-system
+// simulator and compare mitigation schemes head to head — a miniature of
+// the paper's Fig. 8/9 for a handful of traces.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"catsim"
+	"catsim/internal/dram"
+	"catsim/internal/mitigation"
+	"catsim/internal/sim"
+	"catsim/internal/trace"
+)
+
+func main() {
+	var (
+		threshold uint32 = 16384 // the paper's T=16K configuration
+		scale            = 0.10  // a tenth of a refresh interval per run
+	)
+	schemes := []sim.SchemeSpec{
+		{Kind: mitigation.KindPRA},
+		{Kind: mitigation.KindSCA, Counters: 64},
+		{Kind: mitigation.KindSCA, Counters: 128},
+		{Kind: mitigation.KindPRCAT, Counters: 64, MaxLevels: 11},
+		{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tscheme\tCMRPO\tETO\trows refreshed\tread lat (ns)")
+	for _, name := range []string{"black", "libq", "comm1", "face"} {
+		wl, err := trace.Lookup(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, spec := range schemes {
+			if spec.Kind == mitigation.KindPRA {
+				spec.PRAProb = mitigation.PRAProbabilityForThreshold(threshold)
+			}
+			cfg := catsim.SimConfig{
+				Cores:           2,
+				RequestsPerCore: int(204.8e6 / float64(wl.GapMean) * scale),
+				Workload:        wl,
+				Scheme:          spec,
+				Threshold:       uint32(float64(threshold) * scale),
+
+				ThresholdScale: scale,
+				IntervalNS:     dram.RefreshIntervalNS() * scale,
+				Seed:           1,
+			}
+			pair, err := catsim.RunPair(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.2f%%\t%.3f%%\t%d\t%.1f\n",
+				name, spec.Label(threshold), pair.Scheme.CMRPO*100, pair.ETO*100,
+				pair.Scheme.Counts.RowsRefreshed, pair.Scheme.AvgReadLatencyNS)
+		}
+		fmt.Fprintln(tw, "\t\t\t\t\t")
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CMRPO = crosstalk-mitigation refresh power / regular refresh power (2.5 mW/bank)")
+	fmt.Println("ETO   = slowdown vs the same run without mitigation")
+}

@@ -1,0 +1,148 @@
+// Package addrmap implements the physical-address-to-DRAM-coordinate mapping
+// policies of the USIMM memory-system simulator that the paper's evaluation
+// uses (§VI, §VIII-B):
+//
+//   - the baseline policy "rw:rk:bk:ch:col:offset" (row bits highest), and
+//   - a parallelism-maximising policy that places channel and bank bits just
+//     above the line offset, so consecutive cache lines stripe across all
+//     channels and banks (the "4-channel mapping policy" study).
+//
+// All mappings are pure bit slicing over power-of-two geometries and are
+// exactly invertible, which the tests verify exhaustively on small
+// geometries and probabilistically on the full ones.
+package addrmap
+
+import (
+	"fmt"
+	"math/bits"
+
+	"catsim/internal/dram"
+)
+
+// Coord locates one cache line in the memory system.
+type Coord struct {
+	Bank dram.BankID
+	Row  int
+	Col  int // cache-line index within the row
+}
+
+// Policy maps physical line addresses to DRAM coordinates and back.
+type Policy interface {
+	// Decode maps a physical byte address to its DRAM coordinate.
+	Decode(addr int64) Coord
+	// Encode is the inverse of Decode (up to line-offset truncation).
+	Encode(c Coord) int64
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+func log2(v int) uint { return uint(bits.TrailingZeros(uint(v))) }
+
+// fields holds the bit widths shared by both policies.
+type fields struct {
+	geom                                             dram.Geometry
+	offBits, colBits, chBits, rkBits, bkBits, rwBits uint
+}
+
+func newFields(g dram.Geometry) (fields, error) {
+	if err := g.Validate(); err != nil {
+		return fields{}, err
+	}
+	return fields{
+		geom:    g,
+		offBits: log2(g.LineBytes),
+		colBits: log2(g.LinesPerRow()),
+		chBits:  log2(g.Channels),
+		rkBits:  log2(g.RanksPerCh),
+		bkBits:  log2(g.BanksPerRk),
+		rwBits:  log2(g.RowsPerBank),
+	}, nil
+}
+
+// RowInterleaved is the paper's baseline policy rw:rk:bk:ch:col:offset.
+// Row bits are the most significant, so an application streaming through a
+// row stays in one bank, and the row is the coarsest locality unit.
+type RowInterleaved struct{ f fields }
+
+// NewRowInterleaved builds the baseline policy for geometry g.
+func NewRowInterleaved(g dram.Geometry) (*RowInterleaved, error) {
+	f, err := newFields(g)
+	if err != nil {
+		return nil, fmt.Errorf("addrmap: %w", err)
+	}
+	return &RowInterleaved{f: f}, nil
+}
+
+// Name implements Policy.
+func (p *RowInterleaved) Name() string { return "rw:rk:bk:ch:col:offset" }
+
+// Decode implements Policy.
+func (p *RowInterleaved) Decode(addr int64) Coord {
+	f := &p.f
+	a := uint64(addr) >> f.offBits
+	col := int(a & (1<<f.colBits - 1))
+	a >>= f.colBits
+	ch := int(a & (1<<f.chBits - 1))
+	a >>= f.chBits
+	bk := int(a & (1<<f.bkBits - 1))
+	a >>= f.bkBits
+	rk := int(a & (1<<f.rkBits - 1))
+	a >>= f.rkBits
+	rw := int(a & (1<<f.rwBits - 1))
+	return Coord{Bank: dram.BankID{Channel: ch, Rank: rk, Bank: bk}, Row: rw, Col: col}
+}
+
+// Encode implements Policy.
+func (p *RowInterleaved) Encode(c Coord) int64 {
+	f := &p.f
+	a := uint64(c.Row)
+	a = a<<f.rkBits | uint64(c.Bank.Rank)
+	a = a<<f.bkBits | uint64(c.Bank.Bank)
+	a = a<<f.chBits | uint64(c.Bank.Channel)
+	a = a<<f.colBits | uint64(c.Col)
+	return int64(a << f.offBits)
+}
+
+// ChannelInterleaved is the parallelism-maximising policy
+// rw:col:rk:bk:ch:offset: channel, bank and rank bits sit just above the
+// line offset, so consecutive lines spread across every bank in the system.
+type ChannelInterleaved struct{ f fields }
+
+// NewChannelInterleaved builds the parallelism-maximising policy.
+func NewChannelInterleaved(g dram.Geometry) (*ChannelInterleaved, error) {
+	f, err := newFields(g)
+	if err != nil {
+		return nil, fmt.Errorf("addrmap: %w", err)
+	}
+	return &ChannelInterleaved{f: f}, nil
+}
+
+// Name implements Policy.
+func (p *ChannelInterleaved) Name() string { return "rw:col:rk:bk:ch:offset" }
+
+// Decode implements Policy.
+func (p *ChannelInterleaved) Decode(addr int64) Coord {
+	f := &p.f
+	a := uint64(addr) >> f.offBits
+	ch := int(a & (1<<f.chBits - 1))
+	a >>= f.chBits
+	bk := int(a & (1<<f.bkBits - 1))
+	a >>= f.bkBits
+	rk := int(a & (1<<f.rkBits - 1))
+	a >>= f.rkBits
+	col := int(a & (1<<f.colBits - 1))
+	a >>= f.colBits
+	rw := int(a & (1<<f.rwBits - 1))
+	return Coord{Bank: dram.BankID{Channel: ch, Rank: rk, Bank: bk}, Row: rw, Col: col}
+}
+
+// Encode implements Policy.
+func (p *ChannelInterleaved) Encode(c Coord) int64 {
+	f := &p.f
+	a := uint64(c.Row)
+	a = a<<f.colBits | uint64(c.Col)
+	a = a<<f.rkBits | uint64(c.Bank.Rank)
+	a = a<<f.bkBits | uint64(c.Bank.Bank)
+	a = a<<f.chBits | uint64(c.Bank.Channel)
+	return int64(a << f.offBits)
+}

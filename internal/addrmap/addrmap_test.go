@@ -1,0 +1,138 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"catsim/internal/dram"
+	"catsim/internal/rng"
+)
+
+func policies(t *testing.T, g dram.Geometry) []Policy {
+	t.Helper()
+	ri, err := NewRowInterleaved(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := NewChannelInterleaved(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Policy{ri, ci}
+}
+
+func TestRoundTripExhaustiveSmallGeometry(t *testing.T) {
+	g := dram.Geometry{
+		Channels: 2, RanksPerCh: 2, BanksPerRk: 4,
+		RowsPerBank: 16, ColBytes: 256, LineBytes: 64,
+	}
+	for _, p := range policies(t, g) {
+		total := g.TotalBytes() / int64(g.LineBytes)
+		seen := make(map[Coord]bool)
+		for line := int64(0); line < total; line++ {
+			addr := line * int64(g.LineBytes)
+			c := p.Decode(addr)
+			if seen[c] {
+				t.Fatalf("%s: coordinate %+v repeated", p.Name(), c)
+			}
+			seen[c] = true
+			if back := p.Encode(c); back != addr {
+				t.Fatalf("%s: Encode(Decode(%#x)) = %#x", p.Name(), addr, back)
+			}
+		}
+		if int64(len(seen)) != total {
+			t.Fatalf("%s: mapping not a bijection", p.Name())
+		}
+	}
+}
+
+func TestRoundTripFullGeometry(t *testing.T) {
+	g := dram.Default2Channel()
+	src := rng.NewXoshiro256(5)
+	for _, p := range policies(t, g) {
+		for i := 0; i < 20000; i++ {
+			addr := int64(src.Uint64()) & (g.TotalBytes() - 1)
+			addr &^= int64(g.LineBytes - 1)
+			if back := p.Encode(p.Decode(addr)); back != addr {
+				t.Fatalf("%s: round trip failed for %#x -> %#x", p.Name(), addr, back)
+			}
+		}
+	}
+}
+
+func TestCoordinatesInRange(t *testing.T) {
+	g := dram.Default4Channel()
+	f := func(raw uint64) bool {
+		addr := int64(raw) & (g.TotalBytes()*2 - 1) // include out-of-range bits; Decode masks
+		addr &^= int64(g.LineBytes - 1)
+		for _, p := range policies(t, g) {
+			c := p.Decode(addr)
+			if c.Bank.Channel < 0 || c.Bank.Channel >= g.Channels ||
+				c.Bank.Rank < 0 || c.Bank.Rank >= g.RanksPerCh ||
+				c.Bank.Bank < 0 || c.Bank.Bank >= g.BanksPerRk ||
+				c.Row < 0 || c.Row >= g.RowsPerBank ||
+				c.Col < 0 || c.Col >= g.LinesPerRow() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelInterleavedStripesConsecutiveLines(t *testing.T) {
+	g := dram.Default2Channel()
+	ci, err := NewChannelInterleaved(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive lines must alternate channels.
+	c0 := ci.Decode(0)
+	c1 := ci.Decode(int64(g.LineBytes))
+	if c0.Bank.Channel == c1.Bank.Channel {
+		t.Error("consecutive lines landed on the same channel")
+	}
+
+	ri, err := NewRowInterleaved(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the baseline policy, lines within a row-group stay on one channel
+	// until the column bits roll over.
+	r0 := ri.Decode(0)
+	r1 := ri.Decode(int64(g.LineBytes))
+	if r0.Bank.Channel != r1.Bank.Channel {
+		t.Error("baseline policy should keep consecutive lines on one channel")
+	}
+}
+
+func TestRowBitsAreMostSignificant(t *testing.T) {
+	g := dram.Default2Channel()
+	ri, err := NewRowInterleaved(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flipping the top in-range address bit must change only the row.
+	base := int64(0)
+	top := g.TotalBytes() >> 1
+	c0, c1 := ri.Decode(base), ri.Decode(top)
+	if c0.Bank != c1.Bank || c0.Col != c1.Col {
+		t.Error("top address bit changed bank or column under row-interleaved policy")
+	}
+	if c0.Row == c1.Row {
+		t.Error("top address bit did not change the row")
+	}
+}
+
+func TestInvalidGeometryRejected(t *testing.T) {
+	g := dram.Default2Channel()
+	g.Channels = 3
+	if _, err := NewRowInterleaved(g); err == nil {
+		t.Error("expected validation error")
+	}
+	if _, err := NewChannelInterleaved(g); err == nil {
+		t.Error("expected validation error")
+	}
+}

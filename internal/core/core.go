@@ -1,0 +1,426 @@
+// Package core implements the paper's primary contribution: the
+// Counter-based Adaptive Tree (CAT) of Seyedzadeh, Jones and Melhem
+// (ISCA 2018), together with its two deployment schemes:
+//
+//   - PRCAT (Periodically Reset CAT, §V-A): the tree is rebuilt from the
+//     pre-split uniform shape at every auto-refresh interval.
+//
+//   - DRCAT (Dynamically Reconfigured CAT, §V-B): 2-bit weight registers
+//     track which regions are hot; cold sibling counters are merged and the
+//     released counter is used to split the hot region, so the tree tracks
+//     temporal changes in the access pattern without being rebuilt.
+//
+// The implementation mirrors the paper's SRAM layout (Fig. 5): an array I of
+// intermediate nodes carrying left/right pointers plus leaf flags, an array
+// C of counters, and an array W of weight registers. Row-range boundaries
+// are not stored; they are recovered during pointer-chasing traversal, and
+// the number of sequential SRAM accesses per lookup is modelled exactly as
+// the paper counts it (from 2 up to L - log2(M/4) for a tree pre-split to
+// λ = log2(M) levels).
+//
+// Protection guarantee: a counter covering rows [lo, hi] is an upper bound
+// on the number of activations of every row in [lo, hi] since the last
+// event that reset it. Splits clone the parent value and merges keep the
+// maximum of the children, so the bound is preserved across every tree
+// operation; when a counter reaches the refresh threshold T the rows
+// [lo-1, hi+1] are refreshed. The invariants are machine-checked in the
+// package tests and by the crosstalk oracle in internal/mitigation.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Policy selects how the tree reacts to auto-refresh interval boundaries.
+type Policy int
+
+const (
+	// PRCAT rebuilds the tree (structure and values) every interval.
+	PRCAT Policy = iota
+	// DRCAT clears counter values every interval but keeps the learned
+	// structure and the weight registers, and reconfigures dynamically.
+	DRCAT
+)
+
+// String returns the scheme name used in the paper.
+func (p Policy) String() string {
+	if p == PRCAT {
+		return "PRCAT"
+	}
+	return "DRCAT"
+}
+
+// Config parameterises one CAT instance (one per DRAM bank).
+type Config struct {
+	// Rows is N, the number of rows the tree covers (a power of two).
+	Rows int
+	// Counters is M, the number of counters available (a power of two).
+	Counters int
+	// MaxLevels is L: tree levels are 0..L-1 and T_{L-1} = T.
+	MaxLevels int
+	// RefreshThreshold is T, the activation count at which victim rows
+	// adjacent to the counter's range must be refreshed.
+	RefreshThreshold uint32
+	// Ladder holds the split thresholds T_0..T_{L-1}. If nil, the default
+	// ladder from NewLadder(Counters, MaxLevels, RefreshThreshold) is used.
+	Ladder []uint32
+	// PreSplit is λ, the number of pre-built uniform levels (1..log2(M)+1).
+	// Zero selects the paper's default λ = log2(M).
+	PreSplit int
+	// Policy selects PRCAT or DRCAT behaviour.
+	Policy Policy
+	// WeightBits is the DRCAT weight-register width; zero selects the
+	// paper's 2 bits.
+	WeightBits int
+}
+
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c *Config) Validate() error {
+	if !isPow2(c.Rows) {
+		return fmt.Errorf("core: Rows must be a positive power of two, got %d", c.Rows)
+	}
+	if !isPow2(c.Counters) {
+		return fmt.Errorf("core: Counters must be a positive power of two, got %d", c.Counters)
+	}
+	if c.Counters > c.Rows {
+		return fmt.Errorf("core: more counters (%d) than rows (%d)", c.Counters, c.Rows)
+	}
+	if c.MaxLevels < 1 {
+		return fmt.Errorf("core: MaxLevels must be at least 1, got %d", c.MaxLevels)
+	}
+	// A tree of L levels has leaves no deeper than L-1, each covering at
+	// least Rows/2^(L-1) rows; that must be at least one row.
+	if c.MaxLevels-1 > bits.TrailingZeros(uint(c.Rows)) {
+		return fmt.Errorf("core: MaxLevels %d too deep for %d rows", c.MaxLevels, c.Rows)
+	}
+	if c.RefreshThreshold < 1 {
+		return fmt.Errorf("core: RefreshThreshold must be positive")
+	}
+	lambda := c.preSplit()
+	if lambda < 1 || lambda > c.MaxLevels || (1<<(lambda-1)) > c.Counters {
+		return fmt.Errorf("core: PreSplit %d invalid for M=%d, L=%d", lambda, c.Counters, c.MaxLevels)
+	}
+	if c.Ladder != nil {
+		if err := ValidateLadder(c.Ladder, c.MaxLevels, c.RefreshThreshold); err != nil {
+			return err
+		}
+	}
+	if c.WeightBits < 0 || c.WeightBits > 8 {
+		return fmt.Errorf("core: WeightBits %d out of range", c.WeightBits)
+	}
+	return nil
+}
+
+// preSplit returns λ, applying the paper's default λ = log2(M), clamped so
+// the pre-built tree fits within MaxLevels.
+func (c *Config) preSplit() int {
+	lambda := c.PreSplit
+	if lambda == 0 {
+		lambda = bits.TrailingZeros(uint(c.Counters))
+		if lambda == 0 {
+			lambda = 1 // M = 1: the "tree" is a single root counter
+		}
+	}
+	if lambda > c.MaxLevels {
+		lambda = c.MaxLevels
+	}
+	return lambda
+}
+
+func (c *Config) weightCap() uint8 {
+	wb := c.WeightBits
+	if wb == 0 {
+		wb = 2
+	}
+	return uint8(1<<wb - 1)
+}
+
+// inode is one row of the intermediate-node array I (paper Fig. 5b): two
+// successor pointers plus flags telling whether each successor is another
+// intermediate node (the paper's flag polarity) or a leaf counter.
+type inode struct {
+	left, right         int32
+	leftNode, rightNode bool
+}
+
+// counterState is one row of the counter array C plus the per-counter level
+// register l_i of Algorithm 1. depth is the true tree depth (used for range
+// recovery and the L-level cap); thIdx indexes the split-threshold ladder
+// and is forced to L-1 for every counter once the tree is fully built.
+type counterState struct {
+	value uint32
+	depth uint8
+	thIdx uint8
+}
+
+// Stats aggregates the observable behaviour of one tree.
+type Stats struct {
+	Accesses      int64 // row activations observed
+	SRAMAccesses  int64 // sequential SRAM reads spent on traversals
+	Splits        int64 // RCM split operations
+	RefreshEvents int64 // counter hit T (one victim-refresh command each)
+	RowsRefreshed int64 // total rows refreshed by those commands
+	Reconfigs     int64 // DRCAT merge+split reconfigurations
+	Rebuilds      int64 // full rebuilds (PRCAT interval resets)
+	MaxDepth      int   // deepest leaf observed
+}
+
+// Tree is one CAT instance. It is not safe for concurrent use; the
+// simulator drives one tree per bank from a single goroutine.
+type Tree struct {
+	cfg       Config
+	ladder    []uint32
+	lambda    int
+	weightCap uint8
+
+	inodes   []inode
+	counters []counterState
+	weights  []uint8
+	nInodes  int
+	nCtrs    int
+	full     bool
+
+	stats Stats
+}
+
+// NewTree builds a CAT in its initial (pre-split) shape.
+func NewTree(cfg Config) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ladder := cfg.Ladder
+	if ladder == nil {
+		ladder = NewLadder(cfg.Counters, cfg.MaxLevels, cfg.RefreshThreshold)
+	}
+	t := &Tree{
+		cfg:       cfg,
+		ladder:    ladder,
+		lambda:    cfg.preSplit(),
+		weightCap: cfg.weightCap(),
+		inodes:    make([]inode, cfg.Counters-1+1), // M-1 max; +1 avoids a zero-length array for M=1
+		counters:  make([]counterState, cfg.Counters),
+		weights:   make([]uint8, cfg.Counters),
+	}
+	t.rebuild()
+	return t, nil
+}
+
+// rebuild restores the pre-split uniform tree with zeroed counters.
+func (t *Tree) rebuild() {
+	t.nInodes = 0
+	t.nCtrs = 0
+	t.full = false
+	for i := range t.weights {
+		t.weights[i] = 0
+	}
+	leaves := 1 << (t.lambda - 1)
+	t.buildUniform(leaves)
+	if t.nCtrs == t.cfg.Counters {
+		t.markFull()
+	}
+}
+
+// buildUniform allocates a complete subtree with the given number of leaves
+// and returns a reference to it (index plus is-node flag).
+func (t *Tree) buildUniform(leaves int) (idx int32, isNode bool) {
+	if leaves == 1 {
+		ci := int32(t.nCtrs)
+		t.nCtrs++
+		t.counters[ci] = counterState{
+			value: 0,
+			depth: uint8(t.lambda - 1),
+			thIdx: uint8(t.lambda - 1),
+		}
+		return ci, false
+	}
+	ni := int32(t.nInodes)
+	t.nInodes++
+	l, ln := t.buildUniform(leaves / 2)
+	r, rn := t.buildUniform(leaves / 2)
+	t.inodes[ni] = inode{left: l, right: r, leftNode: ln, rightNode: rn}
+	return ni, true
+}
+
+// markFull implements lines 23-25 of Algorithm 1: once every counter is
+// active, all split-threshold indices jump to L-1 so T_{l_i} = T.
+func (t *Tree) markFull() {
+	t.full = true
+	for i := 0; i < t.nCtrs; i++ {
+		t.counters[i].thIdx = uint8(t.cfg.MaxLevels - 1)
+	}
+}
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Ladder returns the split-threshold ladder in use.
+func (t *Tree) Ladder() []uint32 { return t.ladder }
+
+// Stats returns a copy of the accumulated statistics.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// ActiveCounters returns the number of activated counters.
+func (t *Tree) ActiveCounters() int { return t.nCtrs }
+
+// Full reports whether every counter has been activated.
+func (t *Tree) Full() bool { return t.full }
+
+// locate descends from the root to the leaf covering row, returning the
+// counter index, the covered range [lo, hi], the leaf depth, and the parent
+// linkage needed by a split (parent == -1 when the leaf is the root).
+func (t *Tree) locate(row int) (ci int32, lo, hi, depth int, parent int32, rightSide bool) {
+	lo, hi = 0, t.cfg.Rows-1
+	parent = -1
+	if t.nInodes == 0 {
+		return 0, lo, hi, 0, parent, false
+	}
+	var ref int32 // current intermediate node
+	for d := 0; ; d++ {
+		n := &t.inodes[ref]
+		mid := lo + (hi-lo)/2
+		if row <= mid {
+			hi = mid
+			if n.leftNode {
+				parent = ref
+				ref = n.left
+				continue
+			}
+			return n.left, lo, hi, d + 1, ref, false
+		}
+		lo = mid + 1
+		if n.rightNode {
+			parent = ref
+			ref = n.right
+			continue
+		}
+		return n.right, lo, hi, d + 1, ref, true
+	}
+}
+
+// sramCost models the sequential SRAM accesses for a lookup that ended at
+// the given leaf depth. With the top λ-1 intermediate levels replaced by
+// direct indexing (paper §IV-C), a lookup reads one intermediate node at
+// level λ-1, one node per additional level, and finally the counter: for a
+// leaf at depth L-1 that is (L-1) - (λ-1) + 2 = L - λ + 2 accesses, matching
+// the paper's "from 2 to L - log(M/4)" for λ = log2(M).
+func (t *Tree) sramCost(leafDepth int) int {
+	c := leafDepth - (t.lambda - 1) + 2
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// Access records one activation of row. If the access drives a counter to
+// the refresh threshold, Access returns the inclusive row range to refresh
+// — the counter's range widened by one row on each side, clamped to the
+// bank (paper: "refresh all existing rows between Li-1 and Ui+1") — and
+// refresh = true.
+func (t *Tree) Access(row int) (refLo, refHi int, refresh bool) {
+	if row < 0 || row >= t.cfg.Rows {
+		panic(fmt.Sprintf("core: row %d out of range [0,%d)", row, t.cfg.Rows))
+	}
+	t.stats.Accesses++
+	ci, lo, hi, depth, parent, rightSide := t.locate(row)
+	t.stats.SRAMAccesses += int64(t.sramCost(depth))
+	if depth > t.stats.MaxDepth {
+		t.stats.MaxDepth = depth
+	}
+
+	// Counter Module (Algorithm 1 lines 4-12), with the trigger taken on
+	// the access that reaches the threshold rather than the one after it
+	// (an off-by-one in the paper's pseudocode that would let a row reach
+	// T+1 activations before its victims refresh).
+	c := &t.counters[ci]
+	if c.value < t.ladder[c.thIdx] {
+		c.value++
+	}
+	for c.value >= t.ladder[c.thIdx] {
+		if int(c.thIdx) < t.cfg.MaxLevels-1 {
+			// Reconfiguration Counter Module: split (lines 14-22). Splits
+			// are rare, so re-walking the tree afterwards keeps the logic
+			// simple; when the ladder has equal consecutive rungs the new
+			// leaf may split again immediately, hence the loop.
+			t.split(ci, lo, hi, depth, parent, rightSide)
+			ci, lo, hi, depth, parent, rightSide = t.locate(row)
+			c = &t.counters[ci]
+			continue
+		}
+		// Refresh trigger (lines 10-12).
+		c.value = 0
+		t.stats.RefreshEvents++
+		refLo, refHi = lo-1, hi+1
+		if refLo < 0 {
+			refLo = 0
+		}
+		if refHi > t.cfg.Rows-1 {
+			refHi = t.cfg.Rows - 1
+		}
+		t.stats.RowsRefreshed += int64(refHi - refLo + 1)
+		if t.cfg.Policy == DRCAT {
+			t.noteRefresh(ci)
+		}
+		return refLo, refHi, true
+	}
+	return 0, 0, false
+}
+
+// split activates a new counter as a clone of counter ci (RCM, Algorithm 1
+// lines 15-22).
+func (t *Tree) split(ci int32, lo, hi, depth int, parent int32, rightSide bool) {
+	if t.nCtrs >= t.cfg.Counters || lo == hi {
+		// No counter available or the range is a single row: saturate this
+		// counter's threshold at T so it can only trigger refreshes.
+		t.counters[ci].thIdx = uint8(t.cfg.MaxLevels - 1)
+		return
+	}
+	nc := int32(t.nCtrs)
+	t.nCtrs++
+	ni := int32(t.nInodes)
+	t.nInodes++
+
+	t.stats.Splits++
+	old := &t.counters[ci]
+	newDepth := depth + 1
+	th := old.thIdx + 1 // l_i++ for both halves (line 21-22)
+	t.counters[nc] = counterState{value: old.value, depth: uint8(newDepth), thIdx: th}
+	old.depth = uint8(newDepth)
+	old.thIdx = th
+
+	// The old counter keeps the lower half [lo, mid]; the new counter takes
+	// [mid+1, hi] (Algorithm 1 lines 17-20).
+	t.inodes[ni] = inode{left: ci, right: nc, leftNode: false, rightNode: false}
+	if parent >= 0 {
+		p := &t.inodes[parent]
+		if rightSide {
+			p.right, p.rightNode = ni, true
+		} else {
+			p.left, p.leftNode = ni, true
+		}
+	}
+	if t.cfg.Policy == DRCAT {
+		// Children inherit the parent's weight so a freshly split hot
+		// region is not immediately eligible for merging.
+		t.weights[nc] = t.weights[ci]
+	}
+	if t.nCtrs == t.cfg.Counters {
+		t.markFull()
+	}
+}
+
+// OnIntervalBoundary informs the tree that an auto-refresh interval elapsed
+// (all rows implicitly refreshed). PRCAT rebuilds the whole tree; DRCAT
+// clears counter values but keeps the learned structure and weights (§V).
+func (t *Tree) OnIntervalBoundary() {
+	if t.cfg.Policy == PRCAT {
+		t.rebuild()
+		t.stats.Rebuilds++
+		return
+	}
+	for i := 0; i < t.nCtrs; i++ {
+		t.counters[i].value = 0
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import "fmt"
+
+// The §IV-D cost model, as executable math. The paper derives its split
+// thresholds by comparing the number of rows refreshed by candidate tree
+// shapes under a parameterised access bias:
+//
+//	CostSCA = w * R / T                                     (Eq. 2)
+//	CostCAT = ((2w)^2 + w^2 + (w/2)^2 + (x+w/2)*w/2) * α/T  (Eq. 3)
+//	CostCAT < CostSCA  when  x > 3w                         (Eq. 4)
+//
+// where w = N/4, R is the references per interval, T the refresh
+// threshold, x the extra references biased onto the hottest w/2-row group,
+// and α = R/(x+4w). This file implements the general form of that model —
+// the expected refresh cost of an arbitrary tree shape under an arbitrary
+// bias — plus the critical-bias solver, and the tests verify the paper's
+// worked example (x* = 3w, hence T2 = 2*T1) against it.
+
+// ShapeLeaf is one leaf of a candidate tree shape for the cost model:
+// a group of Rows rows receiving Refs references per interval.
+type ShapeLeaf struct {
+	Rows float64
+	Refs float64
+}
+
+// RefreshCost returns the expected number of rows refreshed per interval
+// for a tree with the given leaves and refresh threshold t: each leaf
+// reaches the threshold Refs/T times, refreshing its Rows rows each time
+// (the neighbour rows are a lower-order term the paper's model drops).
+func RefreshCost(leaves []ShapeLeaf, t float64) float64 {
+	cost := 0.0
+	for _, l := range leaves {
+		cost += l.Rows * l.Refs / t
+	}
+	return cost
+}
+
+// BiasedShape builds the leaf set for the model's canonical scenario: a
+// tree whose leaf row-counts are given, with references distributed
+// proportionally to rows except for an extra bias of x references on the
+// LAST leaf, and the whole pattern normalised to r total references.
+func BiasedShape(rows []float64, x, r float64) []ShapeLeaf {
+	totalRows := 0.0
+	for _, w := range rows {
+		totalRows += w
+	}
+	alpha := r / (x + totalRows)
+	leaves := make([]ShapeLeaf, len(rows))
+	for i, w := range rows {
+		refs := w * alpha
+		if i == len(rows)-1 {
+			refs = (w + x) * alpha
+		}
+		leaves[i] = ShapeLeaf{Rows: w, Refs: refs}
+	}
+	return leaves
+}
+
+// CostSCAEq2 evaluates Eq. 2: the uniform 4-leaf tree of the worked
+// example (each leaf w = n/4 rows) under r references.
+func CostSCAEq2(n, r, t float64) float64 {
+	w := n / 4
+	return w * r / t
+}
+
+// CostCATEq3 evaluates Eq. 3: the unbalanced evolution of Fig. 6(c) —
+// leaves of 2w, w, w/2 and w/2 rows with the bias x on the last.
+func CostCATEq3(n, x, r, t float64) float64 {
+	w := n / 4
+	return RefreshCost(BiasedShape([]float64{2 * w, w, w / 2, w / 2}, x, r), t)
+}
+
+// CriticalBias solves for the bias x* at which the unbalanced shape's cost
+// equals the balanced shape's cost, by bisection over x in [0, xMax]. For
+// the worked example the closed form is x* = 3w (Eq. 4); the solver exists
+// so other shape pairs can be compared the same way.
+func CriticalBias(balanced, unbalanced []float64, n, r, t, xMax float64) (float64, error) {
+	diff := func(x float64) float64 {
+		cb := RefreshCost(BiasedShape(balanced, x, r), t)
+		cu := RefreshCost(BiasedShape(unbalanced, x, r), t)
+		return cu - cb
+	}
+	lo, hi := 0.0, xMax
+	dLo, dHi := diff(lo), diff(hi)
+	if dLo == 0 && dHi == 0 {
+		return 0, fmt.Errorf("core: shapes have identical cost at every bias")
+	}
+	if dLo == 0 {
+		return lo, nil
+	}
+	if dLo*dHi > 0 {
+		return 0, fmt.Errorf("core: no cost crossover in [0, %g] (diff %g..%g)", xMax, dLo, dHi)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if d := diff(mid); (d < 0) == (dLo < 0) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// SplitThresholdRatio derives the threshold relation of the §IV-D race
+// argument: at the critical bias, the counter guarding the hot leaf
+// (hotRows rows plus the bias) and the counter guarding the competing cold
+// leaf (coldRows rows) must reach their thresholds simultaneously, so
+//
+//	T_hot / T_cold = (hotRows + x*) / coldRows.
+//
+// For the worked example (hot w-row leaf with x*=3w against the cold
+// 2w-row leaf) the ratio is 2 — the paper's "T2 is set to be 2*T1".
+func SplitThresholdRatio(hotRows, coldRows, criticalBias float64) float64 {
+	return (hotRows + criticalBias) / coldRows
+}

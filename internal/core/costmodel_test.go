@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"catsim/internal/rng"
+)
+
+// Verify the §IV-D worked example end to end: the cost model, the
+// critical bias x* = 3w, the threshold ratio T2 = 2*T1, and the anchors
+// T2 = T/2, T1 = T/4 that the ladder constructors use.
+
+const (
+	exN = 1 << 16 // rows in the bank
+	exR = 4 << 20 // references per interval
+	exT = 32768   // refresh threshold
+)
+
+func TestEq2Eq3AgreeAtUniformBias(t *testing.T) {
+	// With x chosen so the unbalanced tree sees the same per-row pressure,
+	// Eq. 3 at x = 3w must equal Eq. 2 exactly (that is Eq. 4's boundary).
+	w := float64(exN) / 4
+	sca := CostSCAEq2(exN, exR, exT)
+	cat := CostCATEq3(exN, 3*w, exR, exT)
+	if rel := math.Abs(sca-cat) / sca; rel > 1e-12 {
+		t.Errorf("Eq.2 = %g, Eq.3 at x=3w = %g (rel diff %g); Eq.4 says they cross there", sca, cat, rel)
+	}
+	// Beyond the critical bias the CAT wins; below it the uniform tree wins.
+	if CostCATEq3(exN, 4*w, exR, exT) >= sca {
+		t.Error("CAT should win above the critical bias")
+	}
+	if CostCATEq3(exN, 2*w, exR, exT) <= sca {
+		t.Error("uniform tree should win below the critical bias")
+	}
+}
+
+func TestCriticalBiasSolverReproducesEq4(t *testing.T) {
+	w := float64(exN) / 4
+	balanced := []float64{w, w, w, w / 2, w / 2}           // Fig. 6(b) with the hot half-leaf split out
+	unbalanced := []float64{2 * w, w, w / 2, w / 4, w / 4} // one level deeper on the hot path
+	_ = balanced
+	_ = unbalanced
+
+	// The exact Fig. 6 pair: balanced (b) = {w,w,w,w-with-bias}, where the
+	// bias sits inside the last w-row leaf; unbalanced (c) = {2w,w,w/2,
+	// w/2-with-bias}.
+	xStar, err := CriticalBias(
+		[]float64{w, w, w, w},
+		[]float64{2 * w, w, w / 2, w / 2},
+		exN, exR, exT, 100*w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(xStar-3*w) / (3 * w); rel > 1e-6 {
+		t.Errorf("critical bias = %g, want 3w = %g (rel %g)", xStar, 3*w, rel)
+	}
+}
+
+func TestSplitThresholdRatioMatchesPaper(t *testing.T) {
+	w := float64(exN) / 4
+	// "if T2 is set to be 2T1, then C3 will reach T2 before C1 reaches T1
+	// when x > 3w": hot leaf = w rows + bias, competing cold leaf = 2w rows.
+	ratio := SplitThresholdRatio(w, 2*w, 3*w)
+	if math.Abs(ratio-2) > 1e-12 {
+		t.Errorf("T2/T1 = %g, want 2", ratio)
+	}
+	// The ladder constructors honour the anchors the example fixes:
+	// T_{L-1} = T and T_{L-2} = T/2 (then T1 = T/4 via the ratio).
+	ladder := GeometricLadder(4, exT)
+	if ladder[2] != exT/2 || ladder[1] != exT/4 {
+		t.Errorf("geometric ladder %v does not anchor T/2, T/4", ladder)
+	}
+	if ladder[2] != uint32(float64(ladder[1])*ratio) {
+		t.Errorf("ladder does not encode the T2 = 2*T1 relation")
+	}
+}
+
+func TestCriticalBiasNoCrossover(t *testing.T) {
+	// Identical shapes never cross: the solver must report it.
+	w := float64(exN) / 4
+	if _, err := CriticalBias([]float64{w, w}, []float64{w, w}, exN, exR, exT, 10*w); err == nil {
+		t.Error("expected no-crossover error for identical shapes")
+	}
+}
+
+func TestRefreshCostLinearity(t *testing.T) {
+	// Cost scales linearly in references and inversely in threshold.
+	leaves := BiasedShape([]float64{100, 50, 50}, 500, 1e6)
+	c1 := RefreshCost(leaves, 1000)
+	c2 := RefreshCost(leaves, 2000)
+	if math.Abs(c1-2*c2)/c1 > 1e-12 {
+		t.Errorf("halving T should double cost: %g vs %g", c1, c2)
+	}
+	double := BiasedShape([]float64{100, 50, 50}, 500, 2e6)
+	if math.Abs(RefreshCost(double, 1000)-2*c1)/c1 > 1e-12 {
+		t.Error("doubling references should double cost")
+	}
+}
+
+func TestTreeEvolutionFollowsCostModel(t *testing.T) {
+	// End-to-end: drive two actual trees with reference streams just below
+	// and above the critical bias and check which one stays balanced.
+	mk := func() *Tree {
+		return mustTree(t, Config{
+			Rows: 1 << 12, Counters: 4, MaxLevels: 4,
+			RefreshThreshold: 1 << 14, PreSplit: 1,
+			Ladder: GeometricLadder(4, 1<<14),
+		})
+	}
+	// The hot region is the last eighth of the bank (the w/2 group of the
+	// example). Bias factor b = extra accesses to it per uniform access.
+	drive := func(tree *Tree, hotShare float64) {
+		n := 1 << 18
+		hotLo := tree.Config().Rows * 7 / 8
+		src := rng.NewXoshiro256(99)
+		for i := 0; i < n; i++ {
+			if rng.Float64(src) < hotShare {
+				tree.Access(hotLo + rng.Intn(src, tree.Config().Rows/8))
+			} else {
+				tree.Access(rng.Intn(src, tree.Config().Rows))
+			}
+		}
+	}
+	weak, strong := mk(), mk()
+	drive(weak, 0.15)   // mild bias: roughly uniform pressure
+	drive(strong, 0.75) // strong bias: well past critical
+	maxDepth := func(tree *Tree) int {
+		d := 0
+		for _, l := range tree.Leaves() {
+			if l.Depth > d {
+				d = l.Depth
+			}
+		}
+		return d
+	}
+	if maxDepth(strong) <= maxDepth(weak) {
+		t.Errorf("strong bias depth %d should exceed weak bias depth %d",
+			maxDepth(strong), maxDepth(weak))
+	}
+}

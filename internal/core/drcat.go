@@ -1,0 +1,148 @@
+package core
+
+// DRCAT reconfiguration (paper §V-B, Fig. 7).
+//
+// Every counter carries a small weight register. When a counter reaches the
+// refresh threshold its weight is incremented (saturating) and all other
+// weights are decremented (floored at zero), so weights age out unless a
+// region keeps triggering refreshes. When a counter saturates its weight,
+// the tree is reshaped: an intermediate node whose two children are both
+// zero-weight leaf counters is located, the two cold counters are merged
+// (one is promoted into the parent's slot, keeping the larger value so the
+// per-row activation upper bound is preserved), and the released counter
+// and intermediate-node row are reused to split the hot counter in half.
+
+// noteRefresh performs the weight bookkeeping and, when the hot counter's
+// weight saturates, attempts one merge+split reconfiguration.
+func (t *Tree) noteRefresh(hot int32) {
+	w := t.weights
+	for i := 0; i < t.nCtrs; i++ {
+		if int32(i) == hot {
+			continue
+		}
+		if w[i] > 0 {
+			w[i]--
+		}
+	}
+	if w[hot] < t.weightCap {
+		w[hot]++
+	}
+	if w[hot] < t.weightCap {
+		return
+	}
+	if t.reconfigure(hot) {
+		t.stats.Reconfigs++
+		// Step 3 of the paper: the freshly split counters get weight 1 "to
+		// ensure they remain split for a reasonable period of time while
+		// preventing them from being quickly split in succession".
+		// reconfigure sets them; nothing more to do here.
+	}
+}
+
+// reconfigure merges the coldest sibling pair and splits the hot counter,
+// reusing the released counter and intermediate-node row. It returns false
+// when no reconfiguration is possible (no all-cold sibling pair, the hot
+// counter is already at maximum depth, or the tree is trivial).
+func (t *Tree) reconfigure(hot int32) bool {
+	if t.nInodes < 2 {
+		return false // degenerate tree: nothing to merge without emptying it
+	}
+	hotC := &t.counters[hot]
+	if int(hotC.depth) >= t.cfg.MaxLevels-1 {
+		return false // splitting would exceed the L-level cap
+	}
+
+	// Step 1: find an intermediate node whose children are two cold leaves.
+	merge := int32(-1)
+	for i := 0; i < t.nInodes; i++ {
+		n := &t.inodes[i]
+		if n.leftNode || n.rightNode {
+			continue
+		}
+		if t.weights[n.left] == 0 && t.weights[n.right] == 0 &&
+			n.left != hot && n.right != hot {
+			merge = int32(i)
+			break
+		}
+	}
+	if merge < 0 || merge == 0 {
+		// No candidate, or the candidate is the root (merging the root
+		// would collapse the tree to a single leaf mid-surgery).
+		return false
+	}
+
+	mergeParent, mergeRight, ok := t.findParent(merge, true)
+	if !ok {
+		return false // unreachable in a consistent tree
+	}
+	hotParent, hotRight, hok := t.findParent(hot, false)
+	if !hok {
+		return false // hot is the root leaf; cannot split in place
+	}
+	if hotParent == merge {
+		return false // cannot reuse the row that links the hot counter
+	}
+
+	// Perform the merge: promote the right child (the paper's Fig. 7
+	// promotes C5, the right child of I5), release the left child, and keep
+	// the maximum value so the merged counter still upper-bounds every row
+	// in the doubled range.
+	m := t.inodes[merge]
+	promoted, released := m.right, m.left
+	if t.counters[released].value > t.counters[promoted].value {
+		t.counters[promoted].value = t.counters[released].value
+	}
+	t.counters[promoted].depth--
+	p := &t.inodes[mergeParent]
+	if mergeRight {
+		p.right, p.rightNode = promoted, false
+	} else {
+		p.left, p.leftNode = promoted, false
+	}
+
+	// Step 2: reuse the released intermediate-node row and counter to split
+	// the hot counter. The released counter becomes a clone of the hot one
+	// (same value: the activation upper bound holds for both halves).
+	t.counters[released] = counterState{
+		value: hotC.value,
+		depth: hotC.depth + 1,
+		thIdx: hotC.thIdx,
+	}
+	hotC.depth++
+	t.inodes[merge] = inode{left: hot, right: released, leftNode: false, rightNode: false}
+	hp := &t.inodes[hotParent]
+	if hotRight {
+		hp.right, hp.rightNode = merge, true
+	} else {
+		hp.left, hp.leftNode = merge, true
+	}
+
+	// Step 3: start the new pair with weight 1.
+	t.weights[hot] = 1
+	t.weights[released] = 1
+	return true
+}
+
+// findParent scans the intermediate-node array for the entry pointing at
+// target. isNode selects whether target is an intermediate node or a leaf
+// counter. It returns the parent row, which side points at target, and
+// whether a parent was found.
+func (t *Tree) findParent(target int32, isNode bool) (parent int32, right bool, ok bool) {
+	for i := 0; i < t.nInodes; i++ {
+		n := &t.inodes[i]
+		if n.left == target && n.leftNode == isNode {
+			return int32(i), false, true
+		}
+		if n.right == target && n.rightNode == isNode {
+			return int32(i), true, true
+		}
+	}
+	return -1, false, false
+}
+
+// Weights returns a copy of the weight registers (diagnostics and tests).
+func (t *Tree) Weights() []uint8 {
+	out := make([]uint8, t.nCtrs)
+	copy(out, t.weights[:t.nCtrs])
+	return out
+}

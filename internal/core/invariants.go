@@ -1,0 +1,145 @@
+package core
+
+import "fmt"
+
+// Leaf describes one active counter and the row range it governs, as
+// recovered by walking the tree. Diagnostics, tests, and the examples use
+// it to show tree shapes; the hot path never materialises it.
+type Leaf struct {
+	Counter int    // index into the counter array
+	Lo, Hi  int    // inclusive row range
+	Depth   int    // tree level of the leaf
+	Value   uint32 // current counter value
+	Weight  uint8  // DRCAT weight register
+}
+
+// Leaves returns the active counters in row order.
+func (t *Tree) Leaves() []Leaf {
+	var out []Leaf
+	t.walk(func(l Leaf) { out = append(out, l) })
+	return out
+}
+
+// walk visits every leaf in row order.
+func (t *Tree) walk(visit func(Leaf)) {
+	if t.nInodes == 0 {
+		visit(Leaf{Counter: 0, Lo: 0, Hi: t.cfg.Rows - 1, Depth: 0,
+			Value: t.counters[0].value, Weight: t.weights[0]})
+		return
+	}
+	var rec func(ref int32, isNode bool, lo, hi, depth int)
+	rec = func(ref int32, isNode bool, lo, hi, depth int) {
+		if !isNode {
+			visit(Leaf{Counter: int(ref), Lo: lo, Hi: hi, Depth: depth,
+				Value: t.counters[ref].value, Weight: t.weights[ref]})
+			return
+		}
+		n := &t.inodes[ref]
+		mid := lo + (hi-lo)/2
+		rec(n.left, n.leftNode, lo, mid, depth+1)
+		rec(n.right, n.rightNode, mid+1, hi, depth+1)
+	}
+	rec(0, true, 0, t.cfg.Rows-1, 0)
+}
+
+// CheckInvariants verifies the structural soundness of the tree:
+//
+//  1. the leaves partition [0, Rows) exactly, in order, without overlap;
+//  2. every active counter appears as exactly one leaf and every allocated
+//     intermediate-node row is reachable exactly once (no cycles, no leaks);
+//  3. each leaf's stored depth matches its tree position;
+//  4. threshold indices are within the ladder; and
+//  5. no counter value exceeds the refresh threshold T.
+//
+// It returns the first violation found, or nil. Tests call it after every
+// mutation batch; it is deliberately exhaustive rather than fast.
+func (t *Tree) CheckInvariants() error {
+	seenCtr := make(map[int32]bool)
+	seenNode := make(map[int32]bool)
+	nextLo := 0
+	var firstErr error
+	fail := func(format string, args ...any) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: invariant violated: "+format, args...)
+		}
+	}
+
+	var rec func(ref int32, isNode bool, lo, hi, depth int)
+	rec = func(ref int32, isNode bool, lo, hi, depth int) {
+		if firstErr != nil {
+			return
+		}
+		if lo > hi {
+			fail("empty range [%d,%d] at depth %d", lo, hi, depth)
+			return
+		}
+		if !isNode {
+			if ref < 0 || int(ref) >= t.nCtrs {
+				fail("leaf pointer %d outside active counters [0,%d)", ref, t.nCtrs)
+				return
+			}
+			if seenCtr[ref] {
+				fail("counter %d reachable twice", ref)
+				return
+			}
+			seenCtr[ref] = true
+			if lo != nextLo {
+				fail("leaf %d starts at %d, want %d (gap or overlap)", ref, lo, nextLo)
+				return
+			}
+			nextLo = hi + 1
+			c := &t.counters[ref]
+			if int(c.depth) != depth {
+				fail("counter %d stored depth %d, position depth %d", ref, c.depth, depth)
+			}
+			if int(c.thIdx) >= t.cfg.MaxLevels {
+				fail("counter %d threshold index %d out of ladder", ref, c.thIdx)
+			}
+			if c.value > t.cfg.RefreshThreshold {
+				fail("counter %d value %d exceeds T=%d", ref, c.value, t.cfg.RefreshThreshold)
+			}
+			return
+		}
+		if ref < 0 || int(ref) >= t.nInodes {
+			fail("node pointer %d outside allocated rows [0,%d)", ref, t.nInodes)
+			return
+		}
+		if seenNode[ref] {
+			fail("intermediate node %d reachable twice (cycle)", ref)
+			return
+		}
+		seenNode[ref] = true
+		if depth >= t.cfg.MaxLevels {
+			fail("node %d at depth %d exceeds L=%d levels", ref, depth, t.cfg.MaxLevels)
+			return
+		}
+		n := &t.inodes[ref]
+		mid := lo + (hi-lo)/2
+		rec(n.left, n.leftNode, lo, mid, depth+1)
+		rec(n.right, n.rightNode, mid+1, hi, depth+1)
+	}
+
+	if t.nInodes == 0 {
+		if t.nCtrs < 1 {
+			return fmt.Errorf("core: invariant violated: tree has no counters")
+		}
+		if t.counters[0].depth != 0 {
+			return fmt.Errorf("core: invariant violated: root leaf depth %d", t.counters[0].depth)
+		}
+		return nil
+	}
+	rec(0, true, 0, t.cfg.Rows-1, 0)
+	if firstErr != nil {
+		return firstErr
+	}
+	if nextLo != t.cfg.Rows {
+		return fmt.Errorf("core: invariant violated: leaves cover up to %d, want %d", nextLo, t.cfg.Rows)
+	}
+	if len(seenCtr) != t.nCtrs {
+		return fmt.Errorf("core: invariant violated: %d counters reachable, %d active", len(seenCtr), t.nCtrs)
+	}
+	if len(seenNode) != t.nInodes {
+		return fmt.Errorf("core: invariant violated: %d nodes reachable, %d allocated", len(seenNode), t.nInodes)
+	}
+	return nil
+}

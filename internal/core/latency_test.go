@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"catsim/internal/rng"
+)
+
+func TestAvgLookupMatchesPaperBallpark(t *testing.T) {
+	// Paper §VII-A: "the average latency for PRCAT is 3.6ns ... DRCAT ...
+	// incurs 4ns latency". Drive a canonical tree with mixed traffic and
+	// check the model lands in the published range.
+	for _, tc := range []struct {
+		policy Policy
+		lo, hi float64
+	}{
+		{PRCAT, 2.5, 4.5},
+		{DRCAT, 2.9, 4.9},
+	} {
+		cfg := Config{Rows: 1 << 16, Counters: 64, MaxLevels: 11,
+			RefreshThreshold: 4096, Policy: tc.policy}
+		tree := mustTree(t, cfg)
+		src := rng.NewXoshiro256(5)
+		hot := 12345
+		for i := 0; i < 1<<17; i++ {
+			row := hot
+			if i%3 == 0 {
+				row = rng.Intn(src, cfg.Rows)
+			}
+			tree.Access(row)
+		}
+		got := tree.AvgLookupNS()
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("%v: avg lookup %.2f ns, want in [%.1f, %.1f] (paper: 3.6/4.0)",
+				tc.policy, got, tc.lo, tc.hi)
+		}
+		if w := tree.WorstLookupNS(); w <= got {
+			t.Errorf("%v: worst %.2f ns not above average %.2f ns", tc.policy, w, got)
+		}
+	}
+}
+
+func TestDRCATLookupSlowerThanPRCAT(t *testing.T) {
+	run := func(p Policy) float64 {
+		cfg := Config{Rows: 1 << 16, Counters: 64, MaxLevels: 11,
+			RefreshThreshold: 4096, Policy: p}
+		tree := mustTree(t, cfg)
+		for i := 0; i < 1<<14; i++ {
+			tree.Access(i & (1<<16 - 1))
+		}
+		return tree.AvgLookupNS()
+	}
+	if pr, dr := run(PRCAT), run(DRCAT); dr <= pr {
+		t.Errorf("DRCAT lookup %.2f ns should exceed PRCAT's %.2f ns (weight register)", dr, pr)
+	}
+}
+
+func TestLookupLatencyZeroWithoutTraffic(t *testing.T) {
+	tree := mustTree(t, defaultCfg())
+	if got := tree.AvgLookupNS(); got != 0 {
+		t.Errorf("AvgLookupNS = %v before any access", got)
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"catsim/internal/rng"
+)
+
+// exposureOracle is the ground-truth crosstalk model used to verify the
+// deterministic protection guarantee: victim row v accumulates exposure from
+// each adjacent aggressor a in {v-1, v+1} independently, and the exposure
+// from a resets only when v itself is refreshed. A scheme is sound when no
+// victim's exposure from a single aggressor ever exceeds T.
+type exposureOracle struct {
+	rows      int
+	threshold uint32
+	// exposure[v][0] counts activations of v-1 since v's last refresh;
+	// exposure[v][1] counts activations of v+1.
+	exposure [][2]uint32
+}
+
+func newExposureOracle(rows int, threshold uint32) *exposureOracle {
+	return &exposureOracle{rows: rows, threshold: threshold, exposure: make([][2]uint32, rows)}
+}
+
+// activate records an aggressor activation and reports whether any victim's
+// exposure exceeded the threshold (a missed refresh).
+func (o *exposureOracle) activate(a int) bool {
+	bad := false
+	if v := a + 1; v < o.rows {
+		o.exposure[v][0]++
+		bad = bad || o.exposure[v][0] > o.threshold
+	}
+	if v := a - 1; v >= 0 {
+		o.exposure[v][1]++
+		bad = bad || o.exposure[v][1] > o.threshold
+	}
+	return bad
+}
+
+// refresh resets the exposure of every victim in [lo, hi].
+func (o *exposureOracle) refresh(lo, hi int) {
+	for v := lo; v <= hi; v++ {
+		o.exposure[v] = [2]uint32{}
+	}
+}
+
+// refreshAll models the burst auto-refresh at an interval boundary.
+func (o *exposureOracle) refreshAll() {
+	for v := range o.exposure {
+		o.exposure[v] = [2]uint32{}
+	}
+}
+
+// driveWithOracle pushes a stream through the tree and fails the test on the
+// first protection violation.
+func driveWithOracle(t *testing.T, tree *Tree, o *exposureOracle, stream func(i int) int, n int, intervalEvery int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		row := stream(i)
+		lo, hi, refresh := tree.Access(row)
+		if o.activate(row) {
+			t.Fatalf("access %d (row %d): victim exposure exceeded T before refresh", i, row)
+		}
+		if refresh {
+			o.refresh(lo, hi)
+		}
+		if intervalEvery > 0 && (i+1)%intervalEvery == 0 {
+			tree.OnIntervalBoundary()
+			o.refreshAll()
+		}
+	}
+}
+
+func TestProtectionUnderUniformTraffic(t *testing.T) {
+	for _, policy := range []Policy{PRCAT, DRCAT} {
+		cfg := Config{
+			Rows: 1 << 10, Counters: 8, MaxLevels: 7,
+			RefreshThreshold: 128, Policy: policy,
+		}
+		tree := mustTree(t, cfg)
+		o := newExposureOracle(cfg.Rows, cfg.RefreshThreshold)
+		src := rng.NewXoshiro256(11)
+		driveWithOracle(t, tree, o, func(int) int { return rng.Intn(src, cfg.Rows) }, 1<<16, 1<<13)
+		if err := tree.CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestProtectionUnderSingleRowHammer(t *testing.T) {
+	for _, policy := range []Policy{PRCAT, DRCAT} {
+		cfg := Config{
+			Rows: 1 << 10, Counters: 8, MaxLevels: 7,
+			RefreshThreshold: 64, Policy: policy,
+		}
+		tree := mustTree(t, cfg)
+		o := newExposureOracle(cfg.Rows, cfg.RefreshThreshold)
+		driveWithOracle(t, tree, o, func(int) int { return 513 }, 1<<15, 0)
+	}
+}
+
+func TestProtectionUnderDoubleSidedHammer(t *testing.T) {
+	// The classic double-sided rowhammer: alternate aggressors around one
+	// victim. Each aggressor is tracked independently (paper's per-row T).
+	for _, policy := range []Policy{PRCAT, DRCAT} {
+		cfg := Config{
+			Rows: 1 << 10, Counters: 16, MaxLevels: 8,
+			RefreshThreshold: 64, Policy: policy,
+		}
+		tree := mustTree(t, cfg)
+		o := newExposureOracle(cfg.Rows, cfg.RefreshThreshold)
+		aggressors := [2]int{500, 502}
+		driveWithOracle(t, tree, o, func(i int) int { return aggressors[i%2] }, 1<<15, 0)
+	}
+}
+
+func TestProtectionUnderAdversarialSpray(t *testing.T) {
+	// Spray T-1 accesses over one group, then shift: tries to exploit
+	// counter resets and splits to sneak a row past T.
+	for _, policy := range []Policy{PRCAT, DRCAT} {
+		cfg := Config{
+			Rows: 1 << 10, Counters: 8, MaxLevels: 6,
+			RefreshThreshold: 32, Policy: policy,
+		}
+		tree := mustTree(t, cfg)
+		o := newExposureOracle(cfg.Rows, cfg.RefreshThreshold)
+		src := rng.NewXoshiro256(13)
+		stream := func(i int) int {
+			base := (i / 31) % (cfg.Rows - 8)
+			return base + rng.Intn(src, 8)
+		}
+		driveWithOracle(t, tree, o, stream, 1<<16, 1<<12)
+	}
+}
+
+func TestProtectionQuickRandomStreams(t *testing.T) {
+	// Property: for arbitrary access streams and both policies, no victim
+	// exposure ever exceeds T, and tree invariants hold afterwards.
+	f := func(seed uint64, policyBit bool, hotBias uint8) bool {
+		cfg := Config{
+			Rows: 1 << 9, Counters: 8, MaxLevels: 6,
+			RefreshThreshold: 24, Policy: PRCAT,
+		}
+		if policyBit {
+			cfg.Policy = DRCAT
+		}
+		tree, err := NewTree(cfg)
+		if err != nil {
+			return false
+		}
+		o := newExposureOracle(cfg.Rows, cfg.RefreshThreshold)
+		src := rng.NewXoshiro256(seed)
+		hotRow := rng.Intn(src, cfg.Rows)
+		bias := int(hotBias%8) + 1
+		ok := true
+		for i := 0; i < 6000 && ok; i++ {
+			row := hotRow
+			if rng.Intn(src, 10) >= bias {
+				row = rng.Intn(src, cfg.Rows)
+			}
+			lo, hi, refresh := tree.Access(row)
+			if o.activate(row) {
+				ok = false
+			}
+			if refresh {
+				o.refresh(lo, hi)
+			}
+			if i%1500 == 1499 {
+				tree.OnIntervalBoundary()
+				o.refreshAll()
+			}
+		}
+		return ok && tree.CheckInvariants() == nil
+	}
+	cfgQuick := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfgQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantsQuickAcrossConfigs(t *testing.T) {
+	// Property: arbitrary (valid) configurations keep structural invariants
+	// under random traffic.
+	f := func(seed uint64, mExp, lExtra uint8) bool {
+		m := 1 << (1 + mExp%6) // 2..64
+		rows := 1 << 10
+		l := 2 + int(lExtra%7) // 2..8
+		cfg := Config{
+			Rows: rows, Counters: m, MaxLevels: l,
+			RefreshThreshold: 64, Policy: DRCAT,
+		}
+		if (1 << (cfg.preSplit() - 1)) > m {
+			return true // invalid combination; skip
+		}
+		tree, err := NewTree(cfg)
+		if err != nil {
+			return false
+		}
+		src := rng.NewXoshiro256(seed)
+		for i := 0; i < 5000; i++ {
+			tree.Access(rng.Intn(src, rows))
+		}
+		return tree.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOracleDetectsUnprotectedHammer(t *testing.T) {
+	// Mutation check of the oracle itself: with no mitigation at all, the
+	// oracle must flag a violation once a row passes T activations.
+	o := newExposureOracle(64, 10)
+	for i := 0; i < 10; i++ {
+		if o.activate(5) {
+			t.Fatalf("oracle fired early at access %d", i)
+		}
+	}
+	if !o.activate(5) {
+		t.Fatal("oracle failed to flag the 11th unmitigated activation")
+	}
+}

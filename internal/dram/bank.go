@@ -1,0 +1,62 @@
+package dram
+
+// Bank tracks the availability of one DRAM bank for the event-driven
+// controller model. Under the closed-page policy every demand access is an
+// ACTIVATE/column/PRECHARGE sequence, so a bank is described completely by
+// the cycle at which it next becomes free, plus bookkeeping for activation
+// counting (the input to the crosstalk-mitigation schemes).
+type Bank struct {
+	// FreeAt is the bus cycle at which the bank can accept a new ACTIVATE.
+	FreeAt int64
+
+	// RefreshDebt is outstanding victim-refresh work in bus cycles. The
+	// controller drains it in idle time and interleaves it with demand one
+	// row at a time, so a demand request never waits behind a whole
+	// refresh burst — only behind the row refresh in progress (the convoy
+	// avoidance real TRR implementations use).
+	RefreshDebt int64
+
+	// Activations counts row ACTIVATEs since construction (statistics).
+	Activations int64
+
+	// VictimRefreshRows counts rows refreshed on demand by a mitigation
+	// scheme since construction (statistics).
+	VictimRefreshRows int64
+
+	// StallCycles accumulates cycles during which demand requests waited
+	// for victim refreshes (ETO attribution).
+	StallCycles int64
+}
+
+// Access occupies the bank for one closed-page access beginning no earlier
+// than now, returning the cycle at which the data transfer completes and
+// recording the activation. latency and occupancy come from Timing.
+func (b *Bank) Access(now int64, latency, occupancy int) (done int64) {
+	start := now
+	if b.FreeAt > start {
+		start = b.FreeAt
+	}
+	b.FreeAt = start + int64(occupancy)
+	b.Activations++
+	return start + int64(latency)
+}
+
+// BlockFor occupies the bank for n cycles starting no earlier than now,
+// without recording an activation (auto-refresh and victim refreshes; the
+// mitigation scheme decides whether refresh ACTIVATEs feed back into the
+// counters — the paper's schemes do not count refresh operations).
+func (b *Bank) BlockFor(now int64, n int64) (busyUntil int64) {
+	start := now
+	if b.FreeAt > start {
+		start = b.FreeAt
+	}
+	b.FreeAt = start + n
+	return b.FreeAt
+}
+
+// VictimRefresh occupies the bank for rows*rowCycles starting no earlier
+// than now and records the refreshed rows.
+func (b *Bank) VictimRefresh(now int64, rows int, rowCycles int) (busyUntil int64) {
+	b.VictimRefreshRows += int64(rows)
+	return b.BlockFor(now, int64(rows)*int64(rowCycles))
+}

@@ -1,0 +1,207 @@
+// Package energy models the hardware cost of the crosstalk-mitigation
+// schemes: per-access dynamic energy, per-interval static energy and die
+// area of the counter logic (the paper's Table II, obtained there from
+// Synopsys synthesis at 45 nm plus CACTI SRAM models), the PRNG used by
+// PRA, and the CMRPO metric (§VI, §VII-B).
+//
+// The published Table II numbers are embedded as calibration anchors;
+// log-log interpolation extends them to any counter count, which is what
+// Fig. 2's 16..65536-counter sweep needs (DESIGN.md substitution S4).
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"catsim/internal/dram"
+	"catsim/internal/mitigation"
+)
+
+// SchemeHW is the hardware cost of one scheme instance per bank.
+type SchemeHW struct {
+	DynamicNJPerAccess  float64 // energy per row activation (logic + SRAM)
+	StaticNJPerInterval float64 // leakage energy per 64 ms refresh interval
+	AreaMM2             float64 // die area at 45 nm
+}
+
+// Table II anchors (paper, per bank), indexed by counters per bank.
+var tableM = []float64{32, 64, 128, 256, 512}
+
+var tableII = map[mitigation.Kind]struct{ dyn, static, area [5]float64 }{
+	mitigation.KindDRCAT: {
+		dyn:    [5]float64{3.05e-4, 4.30e-4, 5.83e-4, 8.72e-4, 1.17e-3},
+		static: [5]float64{5.77e3, 1.39e4, 2.77e4, 5.44e4, 1.06e5},
+		area:   [5]float64{3.16e-2, 6.12e-2, 1.16e-1, 2.23e-1, 3.93e-1},
+	},
+	mitigation.KindPRCAT: {
+		dyn:    [5]float64{2.91e-4, 4.09e-4, 5.50e-4, 8.25e-4, 1.10e-3},
+		static: [5]float64{5.55e3, 1.32e4, 2.63e4, 5.13e4, 1.02e5},
+		area:   [5]float64{3.04e-2, 5.86e-2, 1.11e-1, 2.11e-1, 3.75e-1},
+	},
+	mitigation.KindSCA: {
+		dyn:    [5]float64{1.41e-4, 1.92e-4, 2.22e-4, 3.12e-4, 4.25e-4},
+		static: [5]float64{3.16e3, 8.81e3, 1.44e4, 2.39e4, 4.52e4},
+		area:   [5]float64{1.86e-2, 4.04e-2, 6.04e-2, 1.00e-1, 1.72e-1},
+	},
+}
+
+// PRNG specification for PRA (paper Table II, from Srinivasan et al. [25]).
+const (
+	PRNGAreaMM2            = 4.004e-3
+	PRNGThroughputGbps     = 2.4
+	PRNGPowerMW            = 7.0
+	PRNGEfficiencyNJPerBit = 2.90e-3
+	// PRNGEnergyPerActivationNJ is eng_PRNG: 9 bits per row access.
+	PRNGEnergyPerActivationNJ = 2.625e-2
+)
+
+// StaticPowerFraction is the share of Table II's synthesized static energy
+// charged to CMRPO. The published table includes combinational and io-pad
+// leakage from the synthesis flow; charging it at face value makes the
+// static term alone exceed several of the paper's reported totals (e.g.
+// DRCAT-64's 1.39e4 nJ/interval is already 8.7% of the 2.5 mW baseline,
+// above the ~4% total of Fig. 8). One global derate, applied uniformly to
+// every scheme, reconciles the table with the reported CMRPO levels;
+// EXPERIMENTS.md discusses the calibration.
+const StaticPowerFraction = 0.25
+
+// DRAMAccessNJ is the energy of one extra DRAM access (counter-cache miss
+// traffic): a 64 B activate+read burst, from the Micron power model.
+const DRAMAccessNJ = 15.0
+
+// loglogInterp interpolates y(m) on the anchor grid in log-log space,
+// extrapolating with the edge slopes.
+func loglogInterp(anchors [5]float64, m float64) float64 {
+	lx := math.Log2(m)
+	gx := func(i int) float64 { return math.Log2(tableM[i]) }
+	gy := func(i int) float64 { return math.Log2(anchors[i]) }
+	i := 0
+	switch {
+	case lx <= gx(0):
+		i = 0
+	case lx >= gx(len(tableM)-1):
+		i = len(tableM) - 2
+	default:
+		for i = 0; i < len(tableM)-2; i++ {
+			if lx < gx(i+1) {
+				break
+			}
+		}
+	}
+	slope := (gy(i+1) - gy(i)) / (gx(i+1) - gx(i))
+	return math.Exp2(gy(i) + slope*(lx-gx(i)))
+}
+
+// TableII returns the hardware model for a scheme family with m counters
+// per bank. Values at m ∈ {32, 64, 128, 256, 512} are the published
+// anchors; others are log-log interpolated/extrapolated. The counter-cache
+// baseline reuses the SCA SRAM curves for its on-chip array (same storage
+// structure) as the paper does when comparing iso-storage.
+func TableII(kind mitigation.Kind, m int) (SchemeHW, error) {
+	k := kind
+	if k == mitigation.KindCounterCache {
+		k = mitigation.KindSCA
+	}
+	anchors, ok := tableII[k]
+	if !ok {
+		return SchemeHW{}, fmt.Errorf("energy: no Table II model for %v", kind)
+	}
+	if m < 1 {
+		return SchemeHW{}, fmt.Errorf("energy: counter count %d invalid", m)
+	}
+	fm := float64(m)
+	return SchemeHW{
+		DynamicNJPerAccess:  loglogInterp(anchors.dyn, fm),
+		StaticNJPerInterval: loglogInterp(anchors.static, fm),
+		AreaMM2:             loglogInterp(anchors.area, fm),
+	}, nil
+}
+
+// Breakdown is the CMRPO decomposition of §VII-B, in milliwatts per bank.
+type Breakdown struct {
+	DynamicMW float64 // counter logic + SRAM, per activation
+	StaticMW  float64 // counter leakage
+	RefreshMW float64 // victim-row refreshes (1 nJ per row)
+	PRNGMW    float64 // PRA's random-number generation
+	MissMW    float64 // counter-cache miss traffic to DRAM
+}
+
+// TotalMW sums the components.
+func (b Breakdown) TotalMW() float64 {
+	return b.DynamicMW + b.StaticMW + b.RefreshMW + b.PRNGMW + b.MissMW
+}
+
+// CMRPO returns the crosstalk-mitigation refresh power overhead: the total
+// relative to the regular refresh power of one bank (2.5 mW).
+func (b Breakdown) CMRPO() float64 {
+	return b.TotalMW() / dram.RegularRefreshPowerMW
+}
+
+// Compute derives the per-bank CMRPO breakdown for a scheme from its
+// activity counts over an execution of execNS nanoseconds on a system with
+// the given number of banks. Counts are system-wide; the result is the
+// per-bank average, matching the paper's "(per bank)" figures.
+func Compute(kind mitigation.Kind, countersPerBank int, counts mitigation.Counts, banks int, execNS float64) (Breakdown, error) {
+	if banks < 1 || execNS <= 0 {
+		return Breakdown{}, fmt.Errorf("energy: invalid banks=%d execNS=%v", banks, execNS)
+	}
+	var b Breakdown
+	perBank := func(nj float64) float64 { // nJ over the run -> mW per bank
+		return nj / float64(banks) / execNS // nJ/ns = W; so *1e3 for mW
+	}
+	switch kind {
+	case mitigation.KindNone:
+		return Breakdown{}, nil
+	case mitigation.KindPRA:
+		b.PRNGMW = perBank(PRNGEnergyPerActivationNJ*float64(counts.Activations)) * 1e3
+	default:
+		hw, err := TableII(kind, countersPerBank)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		b.DynamicMW = perBank(hw.DynamicNJPerAccess*float64(counts.Activations)) * 1e3
+		b.StaticMW = hw.StaticNJPerInterval * StaticPowerFraction / dram.RefreshIntervalNS() * 1e3
+		if kind == mitigation.KindCounterCache {
+			b.MissMW = perBank(DRAMAccessNJ*float64(counts.ExtraMemAcc)) * 1e3
+		}
+	}
+	b.RefreshMW = perBank(dram.RowRefreshNJ*float64(counts.RowsRefreshed)) * 1e3
+	return b, nil
+}
+
+// SCAEnergyPoint is one point of Fig. 2's per-interval energy breakdown for
+// SCA with m counters: counter energy (static + dynamic) and victim-refresh
+// energy over one 64 ms interval, in nJ per bank.
+type SCAEnergyPoint struct {
+	M         int
+	CounterNJ float64
+	RefreshNJ float64
+	TotalNJ   float64
+}
+
+// SCAEnergy evaluates Fig. 2's curves for m counters given the per-bank
+// accesses and refreshed rows measured over one interval. Fig. 2 plots the
+// synthesis-model energies at face value (it is an energy plot, not CMRPO),
+// so no derating applies here.
+func SCAEnergy(m int, accessesPerBank, rowsRefreshedPerBank float64) (SCAEnergyPoint, error) {
+	hw, err := TableII(mitigation.KindSCA, m)
+	if err != nil {
+		return SCAEnergyPoint{}, err
+	}
+	p := SCAEnergyPoint{
+		M:         m,
+		CounterNJ: hw.StaticNJPerInterval + hw.DynamicNJPerAccess*accessesPerBank,
+		RefreshNJ: dram.RowRefreshNJ * rowsRefreshedPerBank,
+	}
+	p.TotalNJ = p.CounterNJ + p.RefreshNJ
+	return p, nil
+}
+
+// CounterCacheStaticNJ returns the optimistic (no-miss) per-interval energy
+// of a counter cache with the given entry count, the horizontal reference
+// lines of Fig. 2: the paper notes they intersect the SCA points of equal
+// total counter storage.
+func CounterCacheStaticNJ(entries int) float64 {
+	hw, _ := TableII(mitigation.KindSCA, entries)
+	return hw.StaticNJPerInterval
+}

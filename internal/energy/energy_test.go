@@ -1,0 +1,208 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"catsim/internal/mitigation"
+)
+
+func TestTableIIAnchorsExact(t *testing.T) {
+	// The published anchors must be returned verbatim.
+	cases := []struct {
+		kind              mitigation.Kind
+		m                 int
+		dyn, static, area float64
+	}{
+		{mitigation.KindDRCAT, 32, 3.05e-4, 5.77e3, 3.16e-2},
+		{mitigation.KindDRCAT, 64, 4.30e-4, 1.39e4, 6.12e-2},
+		{mitigation.KindDRCAT, 512, 1.17e-3, 1.06e5, 3.93e-1},
+		{mitigation.KindPRCAT, 64, 4.09e-4, 1.32e4, 5.86e-2},
+		{mitigation.KindPRCAT, 256, 8.25e-4, 5.13e4, 2.11e-1},
+		{mitigation.KindSCA, 32, 1.41e-4, 3.16e3, 1.86e-2},
+		{mitigation.KindSCA, 128, 2.22e-4, 1.44e4, 6.04e-2},
+		{mitigation.KindSCA, 512, 4.25e-4, 4.52e4, 1.72e-1},
+	}
+	for _, c := range cases {
+		hw, err := TableII(c.kind, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := func(got, want float64) bool { return math.Abs(got-want) <= 1e-9*math.Abs(want)+1e-12 }
+		if !approx(hw.DynamicNJPerAccess, c.dyn) || !approx(hw.StaticNJPerInterval, c.static) || !approx(hw.AreaMM2, c.area) {
+			t.Errorf("%v M=%d: got %+v, want {%g %g %g}", c.kind, c.m, hw, c.dyn, c.static, c.area)
+		}
+	}
+}
+
+func TestTableIIInterpolationMonotone(t *testing.T) {
+	for _, kind := range []mitigation.Kind{mitigation.KindDRCAT, mitigation.KindPRCAT, mitigation.KindSCA} {
+		prev := 0.0
+		for m := 16; m <= 65536; m *= 2 {
+			hw, err := TableII(kind, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hw.StaticNJPerInterval <= prev {
+				t.Errorf("%v: static energy not increasing at M=%d", kind, m)
+			}
+			prev = hw.StaticNJPerInterval
+			if hw.DynamicNJPerAccess <= 0 || hw.AreaMM2 <= 0 {
+				t.Errorf("%v M=%d: non-positive values %+v", kind, m, hw)
+			}
+		}
+	}
+}
+
+func TestTableIIOrderings(t *testing.T) {
+	// Paper: DRCAT adds ~4-5% over PRCAT; PRCAT dynamic is roughly twice
+	// SCA's; PRCAT and SCA at double the counters are iso-area.
+	for _, m := range []int{32, 64, 128, 256, 512} {
+		dr, _ := TableII(mitigation.KindDRCAT, m)
+		pr, _ := TableII(mitigation.KindPRCAT, m)
+		sc, _ := TableII(mitigation.KindSCA, m)
+		if dr.AreaMM2 <= pr.AreaMM2 || pr.AreaMM2 <= sc.AreaMM2 {
+			t.Errorf("M=%d: area ordering violated", m)
+		}
+		if dr.DynamicNJPerAccess <= pr.DynamicNJPerAccess {
+			t.Errorf("M=%d: DRCAT dynamic must exceed PRCAT", m)
+		}
+		ratio := pr.DynamicNJPerAccess / sc.DynamicNJPerAccess
+		if ratio < 1.5 || ratio > 3.5 {
+			t.Errorf("M=%d: PRCAT/SCA dynamic ratio %v, want about 2", m, ratio)
+		}
+	}
+	// Iso-area: PRCAT_64 and SCA_128 "occupy iso-area".
+	pr64, _ := TableII(mitigation.KindPRCAT, 64)
+	sca128, _ := TableII(mitigation.KindSCA, 128)
+	if d := math.Abs(pr64.AreaMM2-sca128.AreaMM2) / sca128.AreaMM2; d > 0.05 {
+		t.Errorf("PRCAT_64 vs SCA_128 area differs by %.1f%%, want iso-area", d*100)
+	}
+}
+
+func TestTableIIErrors(t *testing.T) {
+	if _, err := TableII(mitigation.KindPRA, 64); err == nil {
+		t.Error("PRA has no counter table; expected error")
+	}
+	if _, err := TableII(mitigation.KindSCA, 0); err == nil {
+		t.Error("expected error for zero counters")
+	}
+}
+
+func TestComputeCMRPOComponents(t *testing.T) {
+	// One interval (64 ms), 16 banks, 1M activations per bank, 1000 rows
+	// refreshed per bank.
+	const banks = 16
+	execNS := 64e6
+	counts := mitigation.Counts{
+		Activations:   16e6,
+		RowsRefreshed: 16000,
+	}
+	b, err := Compute(mitigation.KindSCA, 64, counts, banks, execNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refresh: 1000 rows/bank * 1 nJ / 64 ms = 1.5625e-5 W = 0.015625 mW.
+	if math.Abs(b.RefreshMW-0.015625) > 1e-9 {
+		t.Errorf("RefreshMW = %v, want 0.015625", b.RefreshMW)
+	}
+	// Static: 8.81e3 nJ * 0.25 / 64 ms = 0.0344 mW.
+	want := 8.81e3 * StaticPowerFraction / 64e6 * 1e3
+	if math.Abs(b.StaticMW-want) > 1e-12 {
+		t.Errorf("StaticMW = %v, want %v", b.StaticMW, want)
+	}
+	// Dynamic: 1.92e-4 nJ * 1e6 / 64 ms per bank.
+	wantDyn := 1.92e-4 * 1e6 / 64e6 * 1e3
+	if math.Abs(b.DynamicMW-wantDyn) > 1e-12 {
+		t.Errorf("DynamicMW = %v, want %v", b.DynamicMW, wantDyn)
+	}
+	if b.PRNGMW != 0 || b.MissMW != 0 {
+		t.Error("SCA must not pay PRNG or miss energy")
+	}
+	if cm := b.CMRPO(); math.Abs(cm-b.TotalMW()/2.5) > 1e-12 {
+		t.Errorf("CMRPO = %v inconsistent with total %v", cm, b.TotalMW())
+	}
+}
+
+func TestComputePRAChargesPRNG(t *testing.T) {
+	counts := mitigation.Counts{Activations: 16e6, RowsRefreshed: 64000, PRNGBits: 9 * 16e6}
+	b, err := Compute(mitigation.KindPRA, 0, counts, 16, 64e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PRNGMW <= 0 || b.StaticMW != 0 || b.DynamicMW != 0 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	// Paper: "for every 50 row accesses, PRA consumes energy equal to that
+	// of refreshing one row": PRNG energy per access 2.625e-2 nJ ~ 1/38 of
+	// a 1 nJ row refresh; check the constant is wired through.
+	wantPRNG := PRNGEnergyPerActivationNJ * 1e6 / 64e6 * 1e3 // per bank, 1M acts/bank
+	if math.Abs(b.PRNGMW-wantPRNG) > 1e-12 {
+		t.Errorf("PRNGMW = %v, want %v", b.PRNGMW, wantPRNG)
+	}
+}
+
+func TestComputeCounterCacheChargesMisses(t *testing.T) {
+	counts := mitigation.Counts{Activations: 1e6, ExtraMemAcc: 5e5, RowsRefreshed: 100}
+	b, err := Compute(mitigation.KindCounterCache, 2048, counts, 16, 64e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MissMW <= 0 {
+		t.Error("counter cache must pay miss traffic energy")
+	}
+}
+
+func TestComputeNoneIsFree(t *testing.T) {
+	b, err := Compute(mitigation.KindNone, 0, mitigation.Counts{Activations: 1e6}, 16, 64e6)
+	if err != nil || b.TotalMW() != 0 {
+		t.Errorf("None breakdown = %+v, err %v", b, err)
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	if _, err := Compute(mitigation.KindSCA, 64, mitigation.Counts{}, 0, 1); err == nil {
+		t.Error("expected banks error")
+	}
+	if _, err := Compute(mitigation.KindSCA, 64, mitigation.Counts{}, 16, 0); err == nil {
+		t.Error("expected exec time error")
+	}
+}
+
+func TestSCAEnergyUShape(t *testing.T) {
+	// Fig. 2: for realistic access counts the total energy is U-shaped in
+	// M with the minimum in the low hundreds (paper: M=128). Refresh rows
+	// shrink with M (finer groups); model that coarsely as inversely
+	// proportional.
+	const accesses = 6e5
+	var prev SCAEnergyPoint
+	minM, minTotal := 0, math.Inf(1)
+	for m := 16; m <= 65536; m *= 2 {
+		rowsPerTrigger := 65536/float64(m) + 2
+		triggers := 8.0 * 64 / float64(m) // fewer triggers with more counters
+		if triggers < 0.2 {
+			triggers = 0.2
+		}
+		p, err := SCAEnergy(m, accesses, triggers*rowsPerTrigger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.TotalNJ < minTotal {
+			minM, minTotal = m, p.TotalNJ
+		}
+		prev = p
+	}
+	_ = prev
+	if minM < 64 || minM > 512 {
+		t.Errorf("energy minimum at M=%d, want in the low hundreds (paper: 128)", minM)
+	}
+}
+
+func TestCounterCacheLinesIntersectEquivalentSCA(t *testing.T) {
+	// Fig. 2: the 2K/8K-entry counter-cache lines intersect the SCA points
+	// with the same total counter storage, by construction.
+	sca4096, _ := TableII(mitigation.KindSCA, 4096)
+	if got := CounterCacheStaticNJ(4096); math.Abs(got-sca4096.StaticNJPerInterval) > 1e-9 {
+		t.Errorf("counter-cache static %v, want SCA_4096's %v", got, sca4096.StaticNJPerInterval)
+	}
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"catsim/internal/core"
+	"catsim/internal/mitigation"
+	"catsim/internal/rng"
+	"catsim/internal/trace"
+)
+
+// Ablations beyond the paper's own sweeps (DESIGN.md §6). They isolate the
+// design choices the paper calls out — the split-threshold model (§IV-D),
+// the DRCAT weight-register width (§V-B) and the pre-split depth λ (§IV-C)
+// — by replaying identical access streams through tree variants and
+// counting refreshed rows (the CMRPO driver) and SRAM traffic (the dynamic
+// energy and latency driver).
+
+// AblationPoint is one variant measurement.
+type AblationPoint struct {
+	Variant       string
+	RowsRefreshed int64
+	RefreshEvents int64
+	SRAMPerAccess float64
+	Reconfigs     int64
+}
+
+// replayStream drives a fresh tree with a seeded mixed stream (one hot
+// region that moves once, over uniform background) and returns the
+// measurement. The stream mimics the biased-with-phase-change patterns the
+// CAT design targets.
+func replayStream(cfg core.Config, seed uint64, n int) (AblationPoint, error) {
+	tree, err := core.NewTree(cfg)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	src := rng.NewXoshiro256(seed)
+	hot := rng.Intn(src, cfg.Rows)
+	for i := 0; i < n; i++ {
+		if i == n/2 {
+			hot = rng.Intn(src, cfg.Rows) // phase change
+			tree.OnIntervalBoundary()
+		}
+		row := hot
+		if rng.Intn(src, 10) >= 7 {
+			row = rng.Intn(src, cfg.Rows)
+		}
+		tree.Access(row)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		return AblationPoint{}, err
+	}
+	s := tree.Stats()
+	return AblationPoint{
+		RowsRefreshed: s.RowsRefreshed,
+		RefreshEvents: s.RefreshEvents,
+		SRAMPerAccess: float64(s.SRAMAccesses) / float64(s.Accesses),
+		Reconfigs:     s.Reconfigs,
+	}, nil
+}
+
+// AblationLadders compares the three split-threshold models: the published
+// canonical profile (the default), the geometric ladder generalising the
+// paper's worked example, and the uniform ladder (no adaptive splitting
+// below T — an SCA-shaped tree).
+func AblationLadders(w io.Writer, o Options) ([]AblationPoint, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	const rows, m, l = 1 << 16, 64, 11
+	threshold := scaledThreshold(32768, o.Scale)
+	n := int(2 * CPUCyclesPerInterval / 60 * o.Scale)
+	base := core.Config{Rows: rows, Counters: m, MaxLevels: l,
+		RefreshThreshold: threshold, Policy: core.DRCAT}
+
+	variants := []struct {
+		name   string
+		ladder []uint32
+	}{
+		{"published profile (default)", core.NewLadder(m, l, threshold)},
+		{"geometric T/2^(L-1-l)", core.GeometricLadder(l, threshold)},
+		{"uniform (all rungs at T)", core.UniformLadder(l, threshold)},
+	}
+	var out []AblationPoint
+	tw := table(w)
+	fmt.Fprintln(tw, "Ablation: split-threshold ladder model (DRCAT_64, L=11, T=32K)")
+	fmt.Fprintln(tw, "ladder\trows refreshed\trefresh events\tSRAM/access")
+	for _, v := range variants {
+		cfg := base
+		cfg.Ladder = v.ladder
+		p, err := replayStream(cfg, o.Seed, n)
+		if err != nil {
+			return nil, err
+		}
+		p.Variant = v.name
+		out = append(out, p)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\n", p.Variant, p.RowsRefreshed, p.RefreshEvents, p.SRAMPerAccess)
+	}
+	return out, tw.Flush()
+}
+
+// AblationWeightBits sweeps the DRCAT weight-register width. The paper uses
+// 2 bits: wider registers react more slowly to phase changes (weights take
+// longer to saturate and to age out), narrower ones thrash.
+func AblationWeightBits(w io.Writer, o Options) ([]AblationPoint, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	const rows, m, l = 1 << 16, 64, 11
+	threshold := scaledThreshold(32768, o.Scale)
+	n := int(2 * CPUCyclesPerInterval / 60 * o.Scale)
+	var out []AblationPoint
+	tw := table(w)
+	fmt.Fprintln(tw, "Ablation: DRCAT weight-register width (paper: 2 bits)")
+	fmt.Fprintln(tw, "bits\trows refreshed\treconfigurations")
+	for _, bits := range []int{1, 2, 3, 4} {
+		cfg := core.Config{Rows: rows, Counters: m, MaxLevels: l,
+			RefreshThreshold: threshold, Policy: core.DRCAT, WeightBits: bits}
+		p, err := replayStream(cfg, o.Seed, n)
+		if err != nil {
+			return nil, err
+		}
+		p.Variant = fmt.Sprintf("%d-bit", bits)
+		out = append(out, p)
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", p.Variant, p.RowsRefreshed, p.Reconfigs)
+	}
+	return out, tw.Flush()
+}
+
+// AblationPreSplit sweeps the pre-split depth λ (paper §IV-C: a deeper
+// pre-split reduces pointer-chasing SRAM accesses but spends counters on
+// regions that may stay cold).
+func AblationPreSplit(w io.Writer, o Options) ([]AblationPoint, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	const rows, m, l = 1 << 16, 64, 11
+	threshold := scaledThreshold(32768, o.Scale)
+	n := int(2 * CPUCyclesPerInterval / 60 * o.Scale)
+	var out []AblationPoint
+	tw := table(w)
+	fmt.Fprintln(tw, "Ablation: pre-split depth λ (paper default: log2 M = 6)")
+	fmt.Fprintln(tw, "λ\trows refreshed\tSRAM/access")
+	for _, lambda := range []int{1, 3, 6, 7} {
+		cfg := core.Config{Rows: rows, Counters: m, MaxLevels: l,
+			RefreshThreshold: threshold, Policy: core.DRCAT, PreSplit: lambda}
+		p, err := replayStream(cfg, o.Seed, n)
+		if err != nil {
+			return nil, err
+		}
+		p.Variant = fmt.Sprintf("λ=%d", lambda)
+		out = append(out, p)
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\n", p.Variant, p.RowsRefreshed, p.SRAMPerAccess)
+	}
+	return out, tw.Flush()
+}
+
+// AblationCounterCache compares the CAL'15 counter-cache baseline against
+// DRCAT at matched on-chip storage on real workload streams: the cache
+// refreshes only exact victims (fewest rows) but pays DRAM traffic for
+// misses — the trade-off the paper's Fig. 2 discussion argues against.
+func AblationCounterCache(w io.Writer, o Options) ([]Cell, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	specs := []struct {
+		name string
+		kind mitigation.Kind
+		m    int
+	}{
+		{"DRCAT_64", mitigation.KindDRCAT, 64},
+		{"CC_2048", mitigation.KindCounterCache, 2048},
+	}
+	threshold := uint32(16384)
+	var out []Cell
+	tw := table(w)
+	fmt.Fprintln(tw, "Extension: counter-cache baseline vs DRCAT (T=16K)")
+	fmt.Fprintln(tw, "workload\tscheme\tCMRPO\trows refreshed\textra DRAM accesses")
+	for _, name := range o.Workloads {
+		wl, err := trace.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range specs {
+			spec := simSchemeSpec(s.kind, s.m)
+			cfg := baseConfig(o, wl, spec, threshold)
+			res, err := runOne(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Cell{Workload: name, Scheme: s.name, CMRPO: res.CMRPO, Counts: res.Counts})
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\n", name, s.name, pct(res.CMRPO),
+				res.Counts.RowsRefreshed, res.Counts.ExtraMemAcc)
+		}
+	}
+	return out, tw.Flush()
+}

@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each generator returns the measured data and renders a
+// text table shaped like the paper's plot (same rows/series), so results
+// can be compared side by side with the published numbers; EXPERIMENTS.md
+// records that comparison.
+//
+// Runs are deterministic. The Scale option shrinks the experiment
+// self-similarly: the simulated auto-refresh interval, the refresh
+// threshold and the per-core request count all scale together, which
+// preserves trigger rates and therefore CMRPO/ETO to first order while
+// letting the full suite run quickly (Scale=1 reproduces the paper's 64 ms
+// intervals; the default 0.25 runs the whole suite in minutes).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+
+	"catsim/internal/dram"
+	"catsim/internal/mitigation"
+	"catsim/internal/sim"
+	"catsim/internal/trace"
+)
+
+// CPUCyclesPerInterval is one 64 ms auto-refresh interval at 3.2 GHz.
+const CPUCyclesPerInterval = 204.8e6
+
+// Options configures a generator run.
+type Options struct {
+	// Scale shrinks interval, threshold and request counts together
+	// (1 = paper scale). Values in (0, 1].
+	Scale float64
+	// Seed drives every stochastic component.
+	Seed uint64
+	// Workloads restricts the workload set (nil = the paper's 18).
+	Workloads []string
+	// Intervals is the number of auto-refresh intervals each run spans
+	// (0 = 1). DRCAT's advantage over PRCAT — keeping the learned tree
+	// across interval boundaries instead of relearning — only shows with
+	// several intervals and phase drift.
+	Intervals int
+	// Quiet suppresses progress lines on long sweeps.
+	Quiet bool
+}
+
+// DefaultOptions is used by the CLI when no flags are given.
+func DefaultOptions() Options { return Options{Scale: 0.25, Seed: 1} }
+
+func (o *Options) fill() error {
+	if o.Scale <= 0 || o.Scale > 1 {
+		return fmt.Errorf("experiments: scale %v out of (0,1]", o.Scale)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = trace.WorkloadNames()
+	}
+	if o.Intervals == 0 {
+		o.Intervals = 1
+	}
+	return nil
+}
+
+// scaledThreshold scales the refresh threshold with the run, keeping
+// trigger rates representative (see package comment).
+func scaledThreshold(t uint32, scale float64) uint32 {
+	s := uint32(math.Round(float64(t) * scale))
+	if s < 16 {
+		s = 16
+	}
+	return s
+}
+
+// baseConfig assembles a simulation config for one workload at the given
+// scale on the dual-core 2-channel baseline system. The refresh threshold
+// scales with the run (sim.Config.ThresholdScale documents the rate
+// corrections this implies); PRA's probability is pinned to the *unscaled*
+// threshold, since that is the hardware parameter the paper pairs with p.
+func baseConfig(o Options, wl trace.Spec, spec sim.SchemeSpec, threshold uint32) sim.Config {
+	intervals := o.Intervals
+	if intervals < 1 {
+		intervals = 1
+	}
+	reqPerCore := int(CPUCyclesPerInterval/float64(wl.GapMean)*o.Scale) * intervals
+	if reqPerCore < 1000 {
+		reqPerCore = 1000
+	}
+	if spec.Kind == mitigation.KindPRA && spec.PRAProb == 0 {
+		spec.PRAProb = mitigation.PRAProbabilityForThreshold(threshold)
+	}
+	return sim.Config{
+		Geometry:        dram.Default2Channel(),
+		Timing:          dram.DDR3_1600(),
+		Cores:           2,
+		RequestsPerCore: reqPerCore,
+		Workload:        wl,
+		Scheme:          spec,
+		Threshold:       scaledThreshold(threshold, o.Scale),
+		ThresholdScale:  o.Scale,
+		IntervalNS:      dram.RefreshIntervalNS() * o.Scale,
+		Seed:            o.Seed,
+	}
+}
+
+// simSchemeSpec builds a SchemeSpec with the default CAT depth.
+func simSchemeSpec(kind mitigation.Kind, m int) sim.SchemeSpec {
+	return sim.SchemeSpec{Kind: kind, Counters: m, MaxLevels: 11}
+}
+
+// runOne executes a single configured run.
+func runOne(cfg sim.Config) (sim.Result, error) { return sim.Run(cfg) }
+
+// Cell is one (workload, scheme) measurement.
+type Cell struct {
+	Workload string
+	Scheme   string
+	CMRPO    float64
+	ETO      float64
+	Counts   mitigation.Counts
+}
+
+// Mean returns the arithmetic mean of a selector over cells.
+func Mean(cells []Cell, f func(Cell) float64) float64 {
+	if len(cells) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range cells {
+		sum += f(c)
+	}
+	return sum / float64(len(cells))
+}
+
+// table starts an aligned text table on w.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// suiteOf returns the benchmark suite label for a workload name.
+func suiteOf(name string) string {
+	if s, err := trace.Lookup(name); err == nil {
+		return s.Suite
+	}
+	return "?"
+}
+
+// sortedKeys returns map keys in sorted order (deterministic output).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"catsim/internal/reliability"
+	"catsim/internal/rng"
+)
+
+// Fig1Point is one bar of Fig. 1.
+type Fig1Point struct {
+	Threshold       uint32
+	P               float64
+	Unsurvivability float64
+}
+
+// Fig1 evaluates PRA's 5-year unsurvivability for the paper's grid:
+// refresh thresholds 32K/24K/16K/8K and p from 0.001 to 0.006, with the
+// paper's Q0 per threshold, against the Chipkill reference.
+func Fig1(w io.Writer) ([]Fig1Point, error) {
+	thresholds := []uint32{32768, 24576, 16384, 8192}
+	ps := []float64{0.001, 0.002, 0.003, 0.004, 0.005, 0.006}
+	var out []Fig1Point
+
+	tw := table(w)
+	fmt.Fprintln(tw, "Fig. 1: PRA unsurvivability for 5 years (Chipkill reference 1e-4)")
+	fmt.Fprint(tw, "p \\ T")
+	for _, t := range thresholds {
+		fmt.Fprintf(tw, "\t%dK(Q0=%d)", t/1024, reliability.DefaultQ0(t))
+	}
+	fmt.Fprintln(tw)
+	for _, p := range ps {
+		fmt.Fprintf(tw, "p=%.3f", p)
+		for _, t := range thresholds {
+			u, err := reliability.Unsurvivability(p, t, reliability.DefaultQ0(t), 5)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig1Point{Threshold: t, P: p, Unsurvivability: u})
+			mark := " "
+			if u > reliability.ChipkillReference {
+				mark = "*" // worse than Chipkill
+			}
+			fmt.Fprintf(tw, "\t%.2e%s", u, mark)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintln(tw, "(* = above the Chipkill 1e-4 line)")
+	return out, tw.Flush()
+}
+
+// LFSRStudy reproduces the §III-A Monte-Carlo observation that PRA's
+// guarantee collapses with a cheap LFSR-based PRNG. It reports:
+//
+//   - the ideal-PRNG Monte Carlo (no failures at paper parameters,
+//     matching Eq. 1's ~1e-36 per window);
+//   - the weak two-tap LFSR (x^16+x^8+1): most seeds produce a short
+//     periodic decision stream containing no refresh decision, so failure
+//     is immediate; and
+//   - the phase-aware attack against a maximal LFSR: always succeeds with
+//     bounded overhead, because the decision stream is deterministic.
+type LFSRStudyResult struct {
+	Ideal     reliability.MonteCarloResult
+	WeakLFSR  reliability.MonteCarloResult
+	MaxLFSR   reliability.MonteCarloResult
+	SyncTotal int64
+	SyncRatio float64
+}
+
+// LFSRStudyParams mirrors the paper's T=16K, p=0.005 experiment.
+func LFSRStudy(w io.Writer, trials int) (LFSRStudyResult, error) {
+	if trials < 1 {
+		trials = 100
+	}
+	cfg := reliability.MonteCarloConfig{
+		T: 16384, P: 0.005, Q0: 20, Intervals: 25, Trials: trials, Rotate: 1, SeedBase: 2024,
+	}
+	var res LFSRStudyResult
+	var err error
+
+	idealCfg := cfg
+	idealCfg.Intervals = 2 // ideal never fails; keep the run short
+	idealCfg.Trials = min(trials, 20)
+	if res.Ideal, err = reliability.MonteCarloIdeal(idealCfg); err != nil {
+		return res, err
+	}
+	if res.WeakLFSR, err = reliability.MonteCarloLFSR(cfg); err != nil {
+		return res, err
+	}
+	maxCfg := cfg
+	maxCfg.TapMask = rng.MaximalMask16
+	maxCfg.Intervals = 2
+	maxCfg.Trials = min(trials, 20)
+	if res.MaxLFSR, err = reliability.MonteCarloLFSR(maxCfg); err != nil {
+		return res, err
+	}
+	res.SyncTotal, res.SyncRatio = reliability.SyncAttackAccesses(16384, 0.005, rng.MaximalMask16, 0xBEEF)
+
+	tw := table(w)
+	fmt.Fprintln(tw, "LFSR study (T=16K, p=0.005), cf. paper §III-A")
+	fmt.Fprintln(tw, "PRNG\tfailures\ttrials\tfail prob\tfirst-fail interval")
+	fmt.Fprintf(tw, "ideal (xoshiro256**)\t%d\t%d\t%.2e\t%d\n",
+		res.Ideal.Failures, res.Ideal.Trials, res.Ideal.FailProb, res.Ideal.FirstFail)
+	fmt.Fprintf(tw, "weak LFSR x^16+x^8+1\t%d\t%d\t%.2e\t%d\n",
+		res.WeakLFSR.Failures, res.WeakLFSR.Trials, res.WeakLFSR.FailProb, res.WeakLFSR.FirstFail)
+	fmt.Fprintf(tw, "maximal LFSR (blind)\t%d\t%d\t%.2e\t%d\n",
+		res.MaxLFSR.Failures, res.MaxLFSR.Trials, res.MaxLFSR.FailProb, res.MaxLFSR.FirstFail)
+	fmt.Fprintf(tw, "maximal LFSR (phase-aware attacker)\talways fails\t\t1.0\t0 (overhead %.3fx)\n", res.SyncRatio)
+	return res, tw.Flush()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+
+	"catsim/internal/mitigation"
+	"catsim/internal/sim"
+	"catsim/internal/trace"
+)
+
+// Fig10Point is one bar of Fig. 10: CMRPO for a scheme at (M, L).
+type Fig10Point struct {
+	Scheme string
+	M      int
+	L      int // 0 for SCA
+	CMRPO  float64
+}
+
+// fig10WorkloadSubset is the representative subset used for the sweep: one
+// heavily-skewed, one phase-changing, one streaming, one commercial, one
+// bio and one moderate PARSEC workload. The full 18-workload sweep is a
+// --scale/--workloads flag away; the subset keeps the 100+-cell sweep
+// tractable while spanning the behaviour space (see DESIGN.md D7).
+var fig10WorkloadSubset = []string{"black", "face", "libq", "comm1", "mum", "ferret"}
+
+// RunFig10 sweeps DRCAT over M in {32..512} and L in {log2(M)+1 .. 14},
+// with SCA_M as the reference at each M, for one refresh threshold.
+// RunFig10Policy does the same for a chosen CAT kind (the paper's §VIII-A
+// reports the PRCAT sensitivity separately: "CMRPO for PRCAT is about 4%
+// and 7% for T=32K and T=16K with 10 and 11 CAT levels").
+func RunFig10(o Options, threshold uint32, progress io.Writer) ([]Fig10Point, error) {
+	return RunFig10Policy(o, threshold, mitigation.KindDRCAT, progress)
+}
+
+// RunFig10Policy sweeps the given CAT kind (KindDRCAT or KindPRCAT).
+func RunFig10Policy(o Options, threshold uint32, kind mitigation.Kind, progress io.Writer) ([]Fig10Point, error) {
+	if kind != mitigation.KindDRCAT && kind != mitigation.KindPRCAT {
+		return nil, fmt.Errorf("experiments: fig10 sweeps CAT kinds, got %v", kind)
+	}
+	if len(o.Workloads) == 18 {
+		o.Workloads = fig10WorkloadSubset
+	}
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	var out []Fig10Point
+	run := func(spec sim.SchemeSpec, label string, m, l int) error {
+		sum := 0.0
+		for wi, name := range o.Workloads {
+			wl, err := trace.Lookup(name)
+			if err != nil {
+				return err
+			}
+			cfg := baseConfig(o, wl, spec, threshold)
+			cfg.Seed = o.Seed + uint64(wi)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", label, name, err)
+			}
+			sum += res.CMRPO
+		}
+		out = append(out, Fig10Point{Scheme: label, M: m, L: l, CMRPO: sum / float64(len(o.Workloads))})
+		return nil
+	}
+	for m := 32; m <= 512; m *= 2 {
+		if err := run(sim.SchemeSpec{Kind: mitigation.KindSCA, Counters: m}, "SCA", m, 0); err != nil {
+			return nil, err
+		}
+		minL := bits.TrailingZeros(uint(m)) + 1
+		for l := minL; l <= 14; l++ {
+			spec := sim.SchemeSpec{Kind: kind, Counters: m, MaxLevels: l}
+			if err := run(spec, fmt.Sprintf("%s_L%d", kind, l), m, l); err != nil {
+				return nil, err
+			}
+		}
+		if progress != nil && !o.Quiet {
+			fmt.Fprintf(progress, "  M=%d done\n", m)
+		}
+	}
+	return out, nil
+}
+
+// Fig10 renders the counter/depth sensitivity sweep for T = 32K and 16K.
+func Fig10(w io.Writer, o Options) (map[uint32][]Fig10Point, error) {
+	out := map[uint32][]Fig10Point{}
+	for _, threshold := range []uint32{32768, 16384} {
+		points, err := RunFig10(o, threshold, w)
+		if err != nil {
+			return nil, err
+		}
+		out[threshold] = points
+		tw := table(w)
+		fmt.Fprintf(tw, "Fig. 10: CMRPO per bank for DRCAT (M=32..512, L up to 14), T=%dK\n", threshold/1024)
+		fmt.Fprintln(tw, "M\tscheme\tCMRPO")
+		for _, p := range points {
+			fmt.Fprintf(tw, "%d\t%s\t%s\n", p.M, p.Scheme, pct(p.CMRPO))
+		}
+		if m, l := BestDRCATConfig(points); m != 0 {
+			fmt.Fprintf(tw, "minimum-CMRPO DRCAT config: M=%d, L=%d (paper: M=64, L=11)\n", m, l)
+		}
+		if err := tw.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// BestDRCATConfig returns the (M, L) minimising DRCAT's CMRPO.
+func BestDRCATConfig(points []Fig10Point) (m, l int) {
+	best := -1.0
+	for _, p := range points {
+		if p.L == 0 {
+			continue
+		}
+		if best < 0 || p.CMRPO < best {
+			best, m, l = p.CMRPO, p.M, p.L
+		}
+	}
+	return m, l
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"catsim/internal/dram"
+	"catsim/internal/mitigation"
+	"catsim/internal/sim"
+	"catsim/internal/trace"
+)
+
+// SystemConfig is one system of the §VIII-B mapping/core study.
+type SystemConfig struct {
+	Name               string
+	Cores              int
+	Geometry           dram.Geometry
+	ChannelInterleaved bool
+	// SchemeCounters is the iso-area lineup: SCA gets twice the CAT
+	// counters (PRCAT_64 and SCA_128 are iso-area per Table II).
+	CATCounters int
+	SCACounters int
+}
+
+// Fig11Systems returns the paper's three systems: dual-core/2-channel,
+// quad-core/2-channel and quad-core/4-channel; quad-core banks have 128K
+// rows.
+func Fig11Systems() []SystemConfig {
+	return []SystemConfig{
+		{Name: "dual-core/2ch", Cores: 2, Geometry: dram.Default2Channel(),
+			CATCounters: 64, SCACounters: 128},
+		{Name: "quad-core/2ch", Cores: 4, Geometry: dram.QuadCore2Channel(),
+			CATCounters: 128, SCACounters: 256},
+		{Name: "quad-core/4ch", Cores: 4, Geometry: dram.QuadCore4Channel(),
+			ChannelInterleaved: true, CATCounters: 128, SCACounters: 256},
+	}
+}
+
+// Fig11Point is one bar of Fig. 11.
+type Fig11Point struct {
+	System    string
+	Scheme    string
+	Threshold uint32
+	CMRPO     float64
+	ETO       float64
+}
+
+// RunFig11 measures CMRPO for the three systems at one threshold.
+func RunFig11(o Options, threshold uint32, progress io.Writer) ([]Fig11Point, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	var out []Fig11Point
+	for _, sys := range Fig11Systems() {
+		schemes := []sim.SchemeSpec{
+			{Kind: mitigation.KindPRA},
+			{Kind: mitigation.KindSCA, Counters: sys.SCACounters},
+			{Kind: mitigation.KindPRCAT, Counters: sys.CATCounters, MaxLevels: 11},
+			{Kind: mitigation.KindDRCAT, Counters: sys.CATCounters, MaxLevels: 11},
+		}
+		for _, spec := range schemes {
+			label := spec.Label(threshold)
+			sumC, sumE := 0.0, 0.0
+			for wi, name := range o.Workloads {
+				wl, err := trace.Lookup(name)
+				if err != nil {
+					return nil, err
+				}
+				cfg := baseConfig(o, wl, spec, threshold)
+				cfg.Geometry = sys.Geometry
+				cfg.Cores = sys.Cores
+				cfg.ChannelInterleaved = sys.ChannelInterleaved
+				cfg.Seed = o.Seed + uint64(wi)
+				pair, err := sim.RunPair(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", sys.Name, label, name, err)
+				}
+				sumC += pair.Scheme.CMRPO
+				sumE += pair.ETO
+			}
+			n := float64(len(o.Workloads))
+			out = append(out, Fig11Point{
+				System: sys.Name, Scheme: label, Threshold: threshold,
+				CMRPO: sumC / n, ETO: sumE / n,
+			})
+		}
+		if progress != nil && !o.Quiet {
+			fmt.Fprintf(progress, "  %s done\n", sys.Name)
+		}
+	}
+	return out, nil
+}
+
+// Fig11 renders the mapping-policy and core-count study for T = 32K, 16K.
+func Fig11(w io.Writer, o Options) (map[uint32][]Fig11Point, error) {
+	out := map[uint32][]Fig11Point{}
+	for _, threshold := range []uint32{32768, 16384} {
+		points, err := RunFig11(o, threshold, w)
+		if err != nil {
+			return nil, err
+		}
+		out[threshold] = points
+		tw := table(w)
+		fmt.Fprintf(tw, "Fig. 11: CMRPO per bank by system and mapping policy, T=%dK\n", threshold/1024)
+		fmt.Fprintln(tw, "system\tscheme\tCMRPO\tETO")
+		for _, p := range points {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", p.System, p.Scheme, pct(p.CMRPO), pct(p.ETO))
+		}
+		if err := tw.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Fig12Point is one bar of Fig. 12 (threshold sensitivity).
+type Fig12Point struct {
+	Threshold uint32
+	Scheme    string
+	CMRPO     float64
+	ETO       float64
+}
+
+// Fig12 sweeps the refresh threshold (64K..8K) on the dual-core system
+// with the paper's per-threshold lineups: PRA with matched p, SCA_128
+// (SCA_256 at 8K) and PRCAT/DRCAT with 32/64/64/128 counters.
+func Fig12(w io.Writer, o Options) ([]Fig12Point, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	catCounters := map[uint32]int{65536: 32, 32768: 64, 16384: 64, 8192: 128}
+	scaCounters := map[uint32]int{65536: 128, 32768: 128, 16384: 128, 8192: 256}
+	var out []Fig12Point
+	for _, threshold := range []uint32{65536, 32768, 16384, 8192} {
+		schemes := []sim.SchemeSpec{
+			{Kind: mitigation.KindPRA},
+			{Kind: mitigation.KindSCA, Counters: scaCounters[threshold]},
+			{Kind: mitigation.KindPRCAT, Counters: catCounters[threshold], MaxLevels: 11},
+			{Kind: mitigation.KindDRCAT, Counters: catCounters[threshold], MaxLevels: 11},
+		}
+		for _, spec := range schemes {
+			label := spec.Label(threshold)
+			sumC, sumE := 0.0, 0.0
+			for wi, name := range o.Workloads {
+				wl, err := trace.Lookup(name)
+				if err != nil {
+					return nil, err
+				}
+				cfg := baseConfig(o, wl, spec, threshold)
+				cfg.Seed = o.Seed + uint64(wi)
+				pair, err := sim.RunPair(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("T=%d/%s/%s: %w", threshold, label, name, err)
+				}
+				sumC += pair.Scheme.CMRPO
+				sumE += pair.ETO
+			}
+			n := float64(len(o.Workloads))
+			out = append(out, Fig12Point{Threshold: threshold, Scheme: label,
+				CMRPO: sumC / n, ETO: sumE / n})
+		}
+		if !o.Quiet {
+			fmt.Fprintf(w, "  T=%dK done\n", threshold/1024)
+		}
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "Fig. 12: CMRPO for refresh thresholds 64K/32K/16K/8K (dual-core/2ch)")
+	fmt.Fprintln(tw, "T\tscheme\tCMRPO\tETO")
+	for _, p := range out {
+		fmt.Fprintf(tw, "%dK\t%s\t%s\t%s\n", p.Threshold/1024, p.Scheme, pct(p.CMRPO), pct(p.ETO))
+	}
+	return out, tw.Flush()
+}

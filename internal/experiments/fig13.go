@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"catsim/internal/mitigation"
+	"catsim/internal/sim"
+	"catsim/internal/trace"
+)
+
+// Fig13Point is one bar of Fig. 13: mean ETO of benign workloads under
+// kernel attacks.
+type Fig13Point struct {
+	Threshold uint32
+	Mode      trace.AttackMode
+	Scheme    string
+	ETO       float64
+	CMRPO     float64
+}
+
+// Fig13Kernels is the paper's kernel-attack count. Scaled runs use fewer
+// kernels (at least two) to bound the sweep.
+const Fig13Kernels = 12
+
+// Fig13 measures the attack study: three blend modes x three refresh
+// thresholds x the counter-based schemes (SCA_128/PRCAT_64/DRCAT_64, with
+// counters doubled at T=8K), averaging ETO over the kernel attacks blended
+// into memory-intensive benign workloads.
+func Fig13(w io.Writer, o Options) ([]Fig13Point, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	kernels := Fig13Kernels
+	if o.Scale < 1 {
+		kernels = 3
+	}
+	benign := trace.MemoryIntensive()
+	if len(benign) == 0 {
+		return nil, fmt.Errorf("experiments: no memory-intensive workloads")
+	}
+
+	var out []Fig13Point
+	for _, threshold := range []uint32{32768, 16384, 8192} {
+		catM, scaM := 64, 128
+		if threshold == 8192 {
+			catM, scaM = 128, 256
+		}
+		schemes := []sim.SchemeSpec{
+			{Kind: mitigation.KindSCA, Counters: scaM},
+			{Kind: mitigation.KindPRCAT, Counters: catM, MaxLevels: 11},
+			{Kind: mitigation.KindDRCAT, Counters: catM, MaxLevels: 11},
+		}
+		for _, mode := range []trace.AttackMode{trace.Heavy, trace.Medium, trace.Light} {
+			for _, spec := range schemes {
+				label := spec.Label(threshold)
+				sumE, sumC, n := 0.0, 0.0, 0
+				for k := 0; k < kernels; k++ {
+					wl := benign[k%len(benign)]
+					cfg := baseConfig(o, wl, spec, threshold)
+					cfg.Attack = &sim.AttackConfig{Kernel: k, Mode: mode}
+					cfg.Seed = o.Seed + uint64(k)*7919
+					pair, err := sim.RunPair(cfg)
+					if err != nil {
+						return nil, fmt.Errorf("fig13 %s/%s: %w", label, mode, err)
+					}
+					sumE += pair.ETO
+					sumC += pair.Scheme.CMRPO
+					n++
+				}
+				out = append(out, Fig13Point{
+					Threshold: threshold, Mode: mode, Scheme: label,
+					ETO: sumE / float64(n), CMRPO: sumC / float64(n),
+				})
+			}
+		}
+		if !o.Quiet {
+			fmt.Fprintf(w, "  T=%dK done\n", threshold/1024)
+		}
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "Fig. 13: ETO under kernel attacks (Heavy 75%, Medium 50%, Light 25% target rows)")
+	fmt.Fprintln(tw, "T\tmode\tscheme\tETO\tCMRPO")
+	for _, p := range out {
+		fmt.Fprintf(tw, "%dK\t%s\t%s\t%s\t%s\n",
+			p.Threshold/1024, p.Mode, p.Scheme, pct(p.ETO), pct(p.CMRPO))
+	}
+	return out, tw.Flush()
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"catsim/internal/mitigation"
+	"catsim/internal/sim"
+	"catsim/internal/trace"
+)
+
+// fig8Schemes returns the scheme lineup of Figs. 8 and 9 for one refresh
+// threshold: PRA (p per the threshold), SCA_64, SCA_128, PRCAT_64 and
+// DRCAT_64 (CAT variants with up to 11 levels).
+func fig8Schemes() []sim.SchemeSpec {
+	return []sim.SchemeSpec{
+		{Kind: mitigation.KindPRA},
+		{Kind: mitigation.KindSCA, Counters: 64},
+		{Kind: mitigation.KindSCA, Counters: 128},
+		{Kind: mitigation.KindPRCAT, Counters: 64, MaxLevels: 11},
+		{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+	}
+}
+
+// Fig8Data holds the full CMRPO/ETO matrix for one refresh threshold; it
+// backs both Fig. 8 (CMRPO) and Fig. 9 (ETO), which the paper derives from
+// the same runs.
+type Fig8Data struct {
+	Threshold uint32
+	Schemes   []string
+	Cells     map[string][]Cell // scheme label -> per-workload cells
+}
+
+// MeanCMRPO returns the workload-mean CMRPO for a scheme label.
+func (d *Fig8Data) MeanCMRPO(scheme string) float64 {
+	return Mean(d.Cells[scheme], func(c Cell) float64 { return c.CMRPO })
+}
+
+// MeanETO returns the workload-mean ETO for a scheme label.
+func (d *Fig8Data) MeanETO(scheme string) float64 {
+	return Mean(d.Cells[scheme], func(c Cell) float64 { return c.ETO })
+}
+
+// RunFig8 measures the Figs. 8/9 matrix for one refresh threshold.
+func RunFig8(o Options, threshold uint32, progress io.Writer) (*Fig8Data, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	data := &Fig8Data{Threshold: threshold, Cells: map[string][]Cell{}}
+	for _, spec := range fig8Schemes() {
+		label := spec.Label(threshold)
+		data.Schemes = append(data.Schemes, label)
+		for wi, name := range o.Workloads {
+			wl, err := trace.Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			cfg := baseConfig(o, wl, spec, threshold)
+			cfg.Seed = o.Seed + uint64(wi)
+			pair, err := sim.RunPair(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", label, name, err)
+			}
+			data.Cells[label] = append(data.Cells[label], Cell{
+				Workload: name,
+				Scheme:   label,
+				CMRPO:    pair.Scheme.CMRPO,
+				ETO:      pair.ETO,
+				Counts:   pair.Scheme.Counts,
+			})
+		}
+		if progress != nil && !o.Quiet {
+			fmt.Fprintf(progress, "  %s done (mean CMRPO %s, mean ETO %s)\n",
+				label, pct(data.MeanCMRPO(label)), pct(data.MeanETO(label)))
+		}
+	}
+	return data, nil
+}
+
+// Fig8 renders the CMRPO matrix (Fig. 8) for T = 32K and 16K.
+func Fig8(w io.Writer, o Options) (map[uint32]*Fig8Data, error) {
+	return renderFig89(w, o, "Fig. 8: CMRPO (percent of regular refresh power)",
+		func(c Cell) float64 { return c.CMRPO })
+}
+
+// Fig9 renders the ETO matrix (Fig. 9) from the same runs.
+func Fig9(w io.Writer, o Options) (map[uint32]*Fig8Data, error) {
+	return renderFig89(w, o, "Fig. 9: execution time overhead (ETO)",
+		func(c Cell) float64 { return c.ETO })
+}
+
+func renderFig89(w io.Writer, o Options, title string, metric func(Cell) float64) (map[uint32]*Fig8Data, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	out := map[uint32]*Fig8Data{}
+	for _, threshold := range []uint32{32768, 16384} {
+		data, err := RunFig8(o, threshold, w)
+		if err != nil {
+			return nil, err
+		}
+		out[threshold] = data
+		tw := table(w)
+		fmt.Fprintf(tw, "%s, T=%dK\n", title, threshold/1024)
+		fmt.Fprint(tw, "workload\tsuite")
+		for _, s := range data.Schemes {
+			fmt.Fprintf(tw, "\t%s", s)
+		}
+		fmt.Fprintln(tw)
+		for wi, name := range o.Workloads {
+			fmt.Fprintf(tw, "%s\t%s", name, suiteOf(name))
+			for _, s := range data.Schemes {
+				fmt.Fprintf(tw, "\t%s", pct(metric(data.Cells[s][wi])))
+			}
+			fmt.Fprintln(tw)
+		}
+		fmt.Fprint(tw, "Mean\t")
+		for _, s := range data.Schemes {
+			fmt.Fprintf(tw, "\t%s", pct(Mean(data.Cells[s], metric)))
+		}
+		fmt.Fprintln(tw)
+		if err := tw.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

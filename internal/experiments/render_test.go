@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"catsim/internal/mitigation"
+)
+
+// Render-path tests: the full figure wrappers (both thresholds, formatted
+// tables) at minimal scale, checking the output carries the paper-shaped
+// rows and series.
+
+func micro() Options {
+	return Options{Scale: 0.02, Seed: 3, Workloads: []string{"black"}, Quiet: true}
+}
+
+func TestFig8RenderBothThresholds(t *testing.T) {
+	var buf bytes.Buffer
+	data, err := Fig8(&buf, micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2 || data[32768] == nil || data[16384] == nil {
+		t.Fatalf("missing thresholds: %v", data)
+	}
+	out := buf.String()
+	for _, want := range []string{"T=32K", "T=16K", "DRCAT_64", "PRA_0.002", "PRA_0.003", "Mean", "black"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig9RenderSharesRuns(t *testing.T) {
+	var buf bytes.Buffer
+	data, err := Fig9(&buf, micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "execution time overhead") {
+		t.Error("output missing ETO title")
+	}
+	for _, d := range data {
+		for _, s := range d.Schemes {
+			if len(d.Cells[s]) != 1 {
+				t.Errorf("scheme %s has %d cells", s, len(d.Cells[s]))
+			}
+		}
+	}
+}
+
+func TestFig10PRCATVariant(t *testing.T) {
+	o := micro()
+	points, err := RunFig10Policy(o, 32768, mitigation.KindPRCAT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPRCAT := false
+	for _, p := range points {
+		if strings.HasPrefix(p.Scheme, "PRCAT") {
+			foundPRCAT = true
+		}
+		if strings.HasPrefix(p.Scheme, "DRCAT") {
+			t.Fatalf("DRCAT point in PRCAT sweep: %+v", p)
+		}
+	}
+	if !foundPRCAT {
+		t.Fatal("no PRCAT points")
+	}
+}
+
+func TestFig12RenderAllThresholds(t *testing.T) {
+	var buf bytes.Buffer
+	points, err := Fig12(&buf, micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 16 { // 4 thresholds x 4 schemes
+		t.Fatalf("points = %d, want 16", len(points))
+	}
+	out := buf.String()
+	for _, want := range []string{"64K", "8K", "PRA_0.001", "PRA_0.005", "DRCAT_128"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

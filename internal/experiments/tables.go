@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"catsim/internal/dram"
+	"catsim/internal/energy"
+	"catsim/internal/mitigation"
+)
+
+// Table1 prints the system configuration (paper Table I) as wired into the
+// simulator defaults.
+func Table1(w io.Writer) error {
+	g := dram.Default2Channel()
+	t := dram.DDR3_1600()
+	tw := table(w)
+	fmt.Fprintln(tw, "Table I: system configuration")
+	fmt.Fprintf(tw, "Processor\tTwo 3.2 GHz cores, memory bus %d MHz, %d outstanding reads/core\n", t.BusMHz, 8)
+	fmt.Fprintf(tw, "Memory controller\tclosed-page, posted writes, address mapping rw:rk:bk:ch:col:offset\n")
+	fmt.Fprintf(tw, "DRAM\t%d channels, %d rank/channel, %d banks/rank, %dK rows/bank, %d B lines (%.0f GB total)\n",
+		g.Channels, g.RanksPerCh, g.BanksPerRk, g.RowsPerBank/1024, g.LineBytes,
+		float64(g.TotalBytes())/(1<<30))
+	fmt.Fprintf(tw, "Timing (bus cycles)\ttRCD=%d tRP=%d CL=%d tRAS=%d tRC=%d tRFC=%d tREFI=%d\n",
+		t.TRCD, t.TRP, t.TCAS, t.TRAS, t.TRC, t.TRFC, t.TREFI)
+	return tw.Flush()
+}
+
+// Table2Row is one row of the reproduced Table II.
+type Table2Row struct {
+	M     int
+	DRCAT energy.SchemeHW
+	PRCAT energy.SchemeHW
+	SCA   energy.SchemeHW
+}
+
+// Table2 prints the hardware energy/area table for M = 32..512 alongside
+// the PRNG specification, from the calibrated synthesis model.
+func Table2(w io.Writer) ([]Table2Row, error) {
+	var rows []Table2Row
+	tw := table(w)
+	fmt.Fprintln(tw, "Table II: hardware energy (per bank) and area")
+	fmt.Fprintln(tw, "M\tDRCAT dyn nJ\tDRCAT static nJ\tDRCAT mm2\tPRCAT dyn nJ\tPRCAT static nJ\tPRCAT mm2\tSCA dyn nJ\tSCA static nJ\tSCA mm2")
+	for m := 32; m <= 512; m *= 2 {
+		dr, err := energy.TableII(mitigation.KindDRCAT, m)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := energy.TableII(mitigation.KindPRCAT, m)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := energy.TableII(mitigation.KindSCA, m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{M: m, DRCAT: dr, PRCAT: pr, SCA: sc})
+		fmt.Fprintf(tw, "%d\t%.2e\t%.2e\t%.2e\t%.2e\t%.2e\t%.2e\t%.2e\t%.2e\t%.2e\n",
+			m,
+			dr.DynamicNJPerAccess, dr.StaticNJPerInterval, dr.AreaMM2,
+			pr.DynamicNJPerAccess, pr.StaticNJPerInterval, pr.AreaMM2,
+			sc.DynamicNJPerAccess, sc.StaticNJPerInterval, sc.AreaMM2)
+	}
+	fmt.Fprintf(tw, "PRNG\tarea %.3e mm2\tthroughput %.1f Gbps\tpower %.0f mW\teff %.2e nJ/b\teng_PRNG %.4e nJ (9 b/access)\n",
+		energy.PRNGAreaMM2, energy.PRNGThroughputGbps, energy.PRNGPowerMW,
+		energy.PRNGEfficiencyNJPerBit, energy.PRNGEnergyPerActivationNJ)
+	return rows, tw.Flush()
+}

@@ -1,0 +1,97 @@
+package mitigation
+
+import (
+	"fmt"
+
+	"catsim/internal/core"
+)
+
+// CAT adapts internal/core's adaptive counter trees (one per bank) to the
+// Scheme interface. Policy PRCAT rebuilds each tree every interval; DRCAT
+// keeps the learned shape and reconfigures dynamically (paper §V).
+type CAT struct {
+	name    string
+	kind    Kind
+	trees   []*core.Tree
+	scratch []RefreshRange
+}
+
+// NewCAT builds one tree per bank from cfg. The per-bank config must carry
+// the rows of one bank in cfg.Rows.
+func NewCAT(banks int, cfg core.Config) (*CAT, error) {
+	if banks < 1 {
+		return nil, fmt.Errorf("mitigation: need at least one bank")
+	}
+	kind := KindPRCAT
+	if cfg.Policy == core.DRCAT {
+		kind = KindDRCAT
+	}
+	c := &CAT{
+		name:    fmt.Sprintf("%s_%d", cfg.Policy, cfg.Counters),
+		kind:    kind,
+		trees:   make([]*core.Tree, banks),
+		scratch: make([]RefreshRange, 0, 1),
+	}
+	for b := range c.trees {
+		t, err := core.NewTree(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.trees[b] = t
+	}
+	return c, nil
+}
+
+// Name implements Scheme.
+func (c *CAT) Name() string { return c.name }
+
+// Kind implements Scheme.
+func (c *CAT) Kind() Kind { return c.kind }
+
+// CountersPerBank implements Scheme.
+func (c *CAT) CountersPerBank() int { return c.trees[0].Config().Counters }
+
+// Tree exposes the per-bank tree for diagnostics and examples.
+func (c *CAT) Tree(bank int) *core.Tree { return c.trees[bank] }
+
+// OnActivate implements Scheme.
+func (c *CAT) OnActivate(bank, row int) []RefreshRange {
+	lo, hi, refresh := c.trees[bank].Access(row)
+	if !refresh {
+		return nil
+	}
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, RefreshRange{Lo: lo, Hi: hi})
+	return c.scratch
+}
+
+// OnIntervalBoundary implements Scheme.
+func (c *CAT) OnIntervalBoundary() {
+	for _, t := range c.trees {
+		t.OnIntervalBoundary()
+	}
+}
+
+// Counts implements Scheme.
+func (c *CAT) Counts() Counts {
+	var total Counts
+	for _, t := range c.trees {
+		s := t.Stats()
+		total.Activations += s.Accesses
+		total.RefreshEvents += s.RefreshEvents
+		total.RowsRefreshed += s.RowsRefreshed
+		total.SRAMAccesses += s.SRAMAccesses
+	}
+	return total
+}
+
+// MaxTreeDepth returns the deepest leaf observed across banks.
+func (c *CAT) MaxTreeDepth() int {
+	max := 0
+	for _, t := range c.trees {
+		if d := t.Stats().MaxDepth; d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,148 @@
+package mitigation
+
+import "fmt"
+
+// CounterCache models the leading deterministic baseline the paper improves
+// on (Kim, Nair & Qureshi, "Architectural support for mitigating row
+// hammering in DRAM memories", CAL 2015, the paper's [26]): one exact
+// activation counter per DRAM row, stored in a reserved region of main
+// memory, fronted by an on-chip set-associative counter cache per bank.
+//
+// Exact per-row counters refresh only the two true victim rows, but every
+// counter-cache miss costs an extra DRAM access (fetch, plus write-back of
+// the victim entry), which the simulator charges as memory traffic and the
+// energy model charges per Table II's counter-cache curves.
+type CounterCache struct {
+	name      string
+	banks     int
+	rows      int
+	threshold uint32
+	sets      int
+	ways      int
+	// cache[bank][set*ways+way]
+	tags    [][]int32 // row tagged in the slot, -1 when empty
+	vals    [][]uint32
+	lru     [][]int64 // last-use tick for LRU replacement
+	backing [][]uint32
+	tick    int64
+	counts  Counts
+	scratch []RefreshRange
+}
+
+// NewCounterCache builds the baseline with the given per-bank cache entry
+// count (entries = sets*ways) and associativity.
+func NewCounterCache(banks, rowsPerBank int, threshold uint32, entries, ways int) (*CounterCache, error) {
+	if banks < 1 || rowsPerBank < 1 {
+		return nil, fmt.Errorf("mitigation: need at least one bank and row")
+	}
+	if threshold < 1 {
+		return nil, fmt.Errorf("mitigation: threshold must be positive")
+	}
+	if ways < 1 || entries < ways || entries%ways != 0 {
+		return nil, fmt.Errorf("mitigation: %d entries not divisible into %d ways", entries, ways)
+	}
+	cc := &CounterCache{
+		name:      fmt.Sprintf("CounterCache_%d", entries),
+		banks:     banks,
+		rows:      rowsPerBank,
+		threshold: threshold,
+		sets:      entries / ways,
+		ways:      ways,
+		tags:      make([][]int32, banks),
+		vals:      make([][]uint32, banks),
+		lru:       make([][]int64, banks),
+		backing:   make([][]uint32, banks),
+		scratch:   make([]RefreshRange, 0, 2),
+	}
+	for b := 0; b < banks; b++ {
+		cc.tags[b] = make([]int32, entries)
+		for i := range cc.tags[b] {
+			cc.tags[b][i] = -1
+		}
+		cc.vals[b] = make([]uint32, entries)
+		cc.lru[b] = make([]int64, entries)
+		cc.backing[b] = make([]uint32, rowsPerBank)
+	}
+	return cc, nil
+}
+
+// Name implements Scheme.
+func (cc *CounterCache) Name() string { return cc.name }
+
+// Kind implements Scheme.
+func (cc *CounterCache) Kind() Kind { return KindCounterCache }
+
+// CountersPerBank reports the cached entries per bank (the on-chip cost).
+func (cc *CounterCache) CountersPerBank() int { return cc.sets * cc.ways }
+
+// OnActivate implements Scheme.
+func (cc *CounterCache) OnActivate(bank, row int) []RefreshRange {
+	cc.counts.Activations++
+	cc.counts.SRAMAccesses += 2 // tag probe + data update
+	cc.tick++
+	set := row % cc.sets
+	base := set * cc.ways
+	tags := cc.tags[bank]
+	slot := -1
+	for w := 0; w < cc.ways; w++ {
+		if tags[base+w] == int32(row) {
+			slot = base + w
+			break
+		}
+	}
+	if slot < 0 {
+		// Miss: write back the LRU victim and fetch this row's counter
+		// from the reserved DRAM region (one extra memory access each way;
+		// the paper's "misses to the cache counter can be expensive").
+		cc.counts.ExtraMemAcc++
+		victim := base
+		for w := 1; w < cc.ways; w++ {
+			if cc.lru[bank][base+w] < cc.lru[bank][victim] {
+				victim = base + w
+			}
+		}
+		if tags[victim] >= 0 {
+			cc.backing[bank][tags[victim]] = cc.vals[bank][victim]
+			cc.counts.ExtraMemAcc++
+		}
+		tags[victim] = int32(row)
+		cc.vals[bank][victim] = cc.backing[bank][row]
+		slot = victim
+	}
+	cc.lru[bank][slot] = cc.tick
+	cc.vals[bank][slot]++
+	if cc.vals[bank][slot] < cc.threshold {
+		return nil
+	}
+	cc.vals[bank][slot] = 0
+	cc.backing[bank][row] = 0
+	// Exact per-row counting refreshes only the two true victims.
+	cc.scratch = cc.scratch[:0]
+	if row > 0 {
+		cc.scratch = append(cc.scratch, RefreshRange{Lo: row - 1, Hi: row - 1})
+	}
+	if row < cc.rows-1 {
+		cc.scratch = append(cc.scratch, RefreshRange{Lo: row + 1, Hi: row + 1})
+	}
+	cc.counts.RefreshEvents++
+	for _, rr := range cc.scratch {
+		cc.counts.RowsRefreshed += int64(rr.Rows())
+	}
+	return cc.scratch
+}
+
+// OnIntervalBoundary implements Scheme: all counters reset with the regular
+// refresh sweep.
+func (cc *CounterCache) OnIntervalBoundary() {
+	for b := 0; b < cc.banks; b++ {
+		for i := range cc.vals[b] {
+			cc.vals[b][i] = 0
+		}
+		for i := range cc.backing[b] {
+			cc.backing[b][i] = 0
+		}
+	}
+}
+
+// Counts implements Scheme.
+func (cc *CounterCache) Counts() Counts { return cc.counts }

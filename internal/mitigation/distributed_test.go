@@ -1,0 +1,141 @@
+package mitigation
+
+import (
+	"testing"
+
+	"catsim/internal/core"
+)
+
+// The paper's §V-A caveat, demonstrated: PRCAT's periodic reset assumes
+// burst refresh (all rows refreshed at the interval boundary, LPDDR-style).
+// Under DDRx *distributed* refresh, rows are refreshed in a rolling sweep
+// that is out of sync with the counter reset, so "recent information about
+// row accesses [is] lost when the CAT is reset": an aggressor can
+// accumulate up to 2(T-1) activations against a victim between that
+// victim's refreshes while each counter epoch observes fewer than T.
+//
+// distributedEpochs drives a scheme through epochs of distributed refresh:
+// every epoch the oracle's rows are refreshed in `slots` equal chunks
+// spread through the epoch, and (optionally) the scheme's interval reset
+// fires at the epoch boundary — the paper's PRCAT deployment choice. The
+// attacker is a burst hammer straddling the reset: it hits `row` in the
+// slots after the victim's sweep slot during even epochs and in the slots
+// before it during odd epochs, so each epoch's counter sees at most T-1
+// activations while the victim's exposure between its own refreshes
+// reaches nearly 2(T-1). A uniform hammer cannot expose this (its
+// per-window count equals its per-epoch count); the burst pattern is the
+// adversarial case the §V-A caveat admits.
+func distributedEpochs(s Scheme, o *Oracle, rows, slots, epochs int,
+	burst int, row int, resetAtEpoch bool) int64 {
+
+	chunk := (rows + slots - 1) / slots
+	victimSlot := (row + 1) / chunk // the sweep slot refreshing the victims
+	for e := 0; e < epochs; e++ {
+		attackSlots := slots - 1 - victimSlot // even epochs: after the victim slot
+		if e%2 == 1 {
+			attackSlots = victimSlot // odd epochs: before the victim slot
+		}
+		for slot := 0; slot < slots; slot++ {
+			attack := false
+			if e%2 == 0 {
+				attack = slot > victimSlot
+			} else {
+				attack = slot < victimSlot
+			}
+			if attack && attackSlots > 0 {
+				n := burst / attackSlots
+				for i := 0; i < n; i++ {
+					ranges := s.OnActivate(0, row)
+					o.Activate(0, row)
+					for _, rr := range ranges {
+						o.Refresh(0, rr)
+					}
+				}
+			}
+			lo := slot * chunk
+			hi := lo + chunk - 1
+			if hi > rows-1 {
+				hi = rows - 1
+			}
+			o.Refresh(0, RefreshRange{Lo: lo, Hi: hi})
+		}
+		if resetAtEpoch {
+			s.OnIntervalBoundary()
+		}
+	}
+	return o.Violations()
+}
+
+func newDistributedCAT(t *testing.T, threshold uint32) *CAT {
+	t.Helper()
+	c, err := NewCAT(1, core.Config{
+		Rows: 1 << 10, Counters: 16, MaxLevels: 8,
+		RefreshThreshold: threshold, Policy: core.PRCAT,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDistributedRefreshEpochResetIsUnsound(t *testing.T) {
+	// The attack: hammer one row T-1 times per epoch. The epoch reset
+	// wipes the count, so no counter ever reaches T, while the victim's
+	// own refresh slot (early in the epoch) leaves it exposed to nearly
+	// 2(T-1) activations across the reset boundary.
+	const threshold = 128
+	const rows = 1 << 10
+	cat := newDistributedCAT(t, threshold)
+	o := NewOracle(1, rows, threshold)
+	// Hammer a mid-bank row (victims swept in slot 9 of 16): bursts land
+	// after the victims' sweep slot in even epochs and before it in odd
+	// epochs, straddling the counter reset.
+	violations := distributedEpochs(cat, o, rows, 16, 4, threshold-1, 600, true)
+	if violations == 0 {
+		t.Fatal("epoch reset under distributed refresh should be unsound (the paper's §V-A caveat)")
+	}
+	if cat.Counts().RefreshEvents != 0 {
+		t.Error("attack stayed below T per epoch; no victim refresh should have fired")
+	}
+}
+
+func TestDistributedRefreshConservativeIsSound(t *testing.T) {
+	// Never resetting the counters on auto-refresh is conservative: the
+	// counter keeps over-approximating the victims' exposure, so the same
+	// attack is caught (at the cost of extra victim refreshes).
+	const threshold = 128
+	const rows = 1 << 10
+	cat := newDistributedCAT(t, threshold)
+	o := NewOracle(1, rows, threshold)
+	violations := distributedEpochs(cat, o, rows, 16, 4, threshold-1, 600, false)
+	if violations != 0 {
+		t.Fatalf("conservative (no-reset) mode must stay sound, got %d violations", violations)
+	}
+	if cat.Counts().RefreshEvents == 0 {
+		t.Error("the conservative mode should pay with victim refreshes")
+	}
+}
+
+func TestBurstRefreshEpochResetIsSound(t *testing.T) {
+	// Reference point: with burst refresh (all rows refreshed exactly at
+	// the reset), the same attack is harmless — this is the LPDDR setting
+	// in which the paper's PRCAT reset is exact.
+	const threshold = 128
+	const rows = 1 << 10
+	cat := newDistributedCAT(t, threshold)
+	o := NewOracle(1, rows, threshold)
+	for e := 0; e < 4; e++ {
+		for i := 0; i < threshold-1; i++ {
+			ranges := cat.OnActivate(0, 10)
+			o.Activate(0, 10)
+			for _, rr := range ranges {
+				o.Refresh(0, rr)
+			}
+		}
+		cat.OnIntervalBoundary()
+		o.RefreshAll()
+	}
+	if v := o.Violations(); v != 0 {
+		t.Fatalf("burst-refresh epochs must be sound, got %d violations", v)
+	}
+}

@@ -1,0 +1,131 @@
+// Package mitigation defines the common interface for wordline-crosstalk
+// mitigation schemes and implements the baselines the paper compares
+// against:
+//
+//   - SCA   (Static Counter Assignment, §III-B): M uniform group counters
+//     per bank; when a group counter reaches T the whole group plus its two
+//     adjacent rows are refreshed.
+//   - PRA   (Probabilistic Row Activation, §II): on every activation the
+//     memory controller refreshes the two adjacent victim rows with
+//     probability p, using a hardware PRNG.
+//   - Counter cache (Kim, Nair & Qureshi, CAL 2015): one exact counter per
+//     row stored in reserved DRAM with an on-chip set-associative cache.
+//   - CAT adapters wrapping internal/core's PRCAT and DRCAT trees.
+//   - None: no mitigation (the ETO baseline).
+//
+// Schemes are driven per bank by the system simulator and report the counts
+// the energy model (internal/energy) converts into CMRPO.
+package mitigation
+
+import "fmt"
+
+// RefreshRange is an inclusive range of rows a scheme asks the memory
+// controller to refresh within one bank.
+type RefreshRange struct {
+	Lo, Hi int
+}
+
+// Rows returns the number of rows in the range.
+func (r RefreshRange) Rows() int { return r.Hi - r.Lo + 1 }
+
+// Kind identifies a scheme family for the energy model.
+type Kind int
+
+// Scheme families.
+const (
+	KindNone Kind = iota
+	KindSCA
+	KindPRA
+	KindPRCAT
+	KindDRCAT
+	KindCounterCache
+)
+
+// String returns the family name.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "None"
+	case KindSCA:
+		return "SCA"
+	case KindPRA:
+		return "PRA"
+	case KindPRCAT:
+		return "PRCAT"
+	case KindDRCAT:
+		return "DRCAT"
+	case KindCounterCache:
+		return "CounterCache"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Counts aggregates the scheme activity the energy model consumes.
+type Counts struct {
+	Activations   int64 // row activations observed
+	RefreshEvents int64 // victim-refresh commands issued
+	RowsRefreshed int64 // rows refreshed by those commands
+	SRAMAccesses  int64 // on-chip SRAM reads+writes (counter structures)
+	PRNGBits      int64 // random bits drawn (PRA)
+	ExtraMemAcc   int64 // extra DRAM accesses (counter-cache misses)
+}
+
+// Scheme is one crosstalk-mitigation mechanism covering every bank of a
+// system. OnActivate may return zero or more ranges to refresh; the returned
+// slice is only valid until the next call. Implementations are not safe for
+// concurrent use.
+type Scheme interface {
+	// Name is the label used in the paper's figures, e.g. "DRCAT_64".
+	Name() string
+	// Kind reports the scheme family for energy modelling.
+	Kind() Kind
+	// CountersPerBank reports M for counter-based schemes, 0 otherwise.
+	CountersPerBank() int
+	// OnActivate records an activation of row in bank and returns the
+	// victim ranges the controller must refresh.
+	OnActivate(bank, row int) []RefreshRange
+	// OnIntervalBoundary signals that an auto-refresh interval elapsed
+	// (every row was refreshed by the regular mechanism).
+	OnIntervalBoundary()
+	// Counts returns accumulated activity.
+	Counts() Counts
+}
+
+// None is the no-mitigation baseline used to measure ETO.
+type None struct {
+	counts Counts
+}
+
+// NewNone returns the do-nothing scheme.
+func NewNone() *None { return &None{} }
+
+// Name implements Scheme.
+func (n *None) Name() string { return "None" }
+
+// Kind implements Scheme.
+func (n *None) Kind() Kind { return KindNone }
+
+// CountersPerBank implements Scheme.
+func (n *None) CountersPerBank() int { return 0 }
+
+// OnActivate implements Scheme.
+func (n *None) OnActivate(bank, row int) []RefreshRange {
+	n.counts.Activations++
+	return nil
+}
+
+// OnIntervalBoundary implements Scheme.
+func (n *None) OnIntervalBoundary() {}
+
+// Counts implements Scheme.
+func (n *None) Counts() Counts { return n.counts }
+
+func clampRange(lo, hi, rows int) RefreshRange {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > rows-1 {
+		hi = rows - 1
+	}
+	return RefreshRange{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,85 @@
+package mitigation
+
+// Oracle is the ground-truth crosstalk checker used by integration tests
+// and failure-injection studies. It tracks, for every victim row, the
+// exposure accumulated from each adjacent aggressor since the victim's last
+// refresh; a deterministic scheme is sound when no exposure ever exceeds
+// the refresh threshold T. Probabilistic schemes (PRA) violate it with
+// small probability by design; the reliability model quantifies that.
+type Oracle struct {
+	rows      int
+	threshold uint32
+	// exposure[bank][v][0] counts activations of v-1 since v's refresh;
+	// exposure[bank][v][1] counts activations of v+1.
+	exposure   [][][2]uint32
+	violations int64
+}
+
+// NewOracle builds an oracle for the given geometry.
+func NewOracle(banks, rowsPerBank int, threshold uint32) *Oracle {
+	o := &Oracle{rows: rowsPerBank, threshold: threshold,
+		exposure: make([][][2]uint32, banks)}
+	for b := range o.exposure {
+		o.exposure[b] = make([][2]uint32, rowsPerBank)
+	}
+	return o
+}
+
+// Activate records an aggressor activation and reports whether any victim's
+// exposure exceeded T (a protection violation).
+func (o *Oracle) Activate(bank, a int) bool {
+	e := o.exposure[bank]
+	bad := false
+	if v := a + 1; v < o.rows {
+		e[v][0]++
+		bad = bad || e[v][0] > o.threshold
+	}
+	if v := a - 1; v >= 0 {
+		e[v][1]++
+		bad = bad || e[v][1] > o.threshold
+	}
+	if bad {
+		o.violations++
+	}
+	return bad
+}
+
+// Refresh resets the exposure of every victim in the range.
+func (o *Oracle) Refresh(bank int, rr RefreshRange) {
+	e := o.exposure[bank]
+	for v := rr.Lo; v <= rr.Hi && v < o.rows; v++ {
+		if v >= 0 {
+			e[v] = [2]uint32{}
+		}
+	}
+}
+
+// RefreshAll models the burst auto-refresh of every row (interval boundary).
+func (o *Oracle) RefreshAll() {
+	for b := range o.exposure {
+		for v := range o.exposure[b] {
+			o.exposure[b][v] = [2]uint32{}
+		}
+	}
+}
+
+// Violations returns the number of violations recorded so far.
+func (o *Oracle) Violations() int64 { return o.violations }
+
+// Drive runs a scheme against the oracle for a prepared stream of (bank,
+// row) activations, wiring refreshes back into the oracle. It returns the
+// violation count (zero for sound deterministic schemes).
+func (o *Oracle) Drive(s Scheme, stream [][2]int, intervalEvery int) int64 {
+	for i, br := range stream {
+		ranges := s.OnActivate(br[0], br[1])
+		o.Activate(br[0], br[1])
+		for _, rr := range ranges {
+			o.Refresh(br[0], rr)
+		}
+		if intervalEvery > 0 && (i+1)%intervalEvery == 0 {
+			s.OnIntervalBoundary()
+			o.RefreshAll()
+		}
+	}
+	return o.violations
+}

@@ -1,0 +1,100 @@
+package mitigation
+
+import (
+	"fmt"
+
+	"catsim/internal/rng"
+)
+
+// PRA implements Probabilistic Row Activation (paper §II, §III-A): on every
+// row activation the memory controller draws from a PRNG and, with
+// probability p, refreshes the two rows adjacent to the accessed row ("PRA
+// refreshes two victim rows but not the aggressor row"). One PRNG serves
+// all banks; the paper's Table II charges it 9 random bits per activation.
+type PRA struct {
+	name       string
+	rows       int
+	p          float64
+	src        rng.Source
+	bitsPerAct int64
+	counts     Counts
+	scratch    []RefreshRange
+}
+
+// NewPRA builds a PRA instance with refresh probability p using src as the
+// hardware PRNG model.
+func NewPRA(rowsPerBank int, p float64, src rng.Source) (*PRA, error) {
+	if rowsPerBank < 1 {
+		return nil, fmt.Errorf("mitigation: need at least one row")
+	}
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("mitigation: PRA probability %v out of (0,1)", p)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("mitigation: PRA needs a PRNG source")
+	}
+	return &PRA{
+		name:       fmt.Sprintf("PRA_%g", p),
+		rows:       rowsPerBank,
+		p:          p,
+		src:        src,
+		bitsPerAct: 9,
+		scratch:    make([]RefreshRange, 0, 2),
+	}, nil
+}
+
+// Name implements Scheme.
+func (pr *PRA) Name() string { return pr.name }
+
+// Kind implements Scheme.
+func (pr *PRA) Kind() Kind { return KindPRA }
+
+// CountersPerBank implements Scheme.
+func (pr *PRA) CountersPerBank() int { return 0 }
+
+// Probability returns p.
+func (pr *PRA) Probability() float64 { return pr.p }
+
+// OnActivate implements Scheme.
+func (pr *PRA) OnActivate(bank, row int) []RefreshRange {
+	pr.counts.Activations++
+	pr.counts.PRNGBits += pr.bitsPerAct
+	if rng.Float64(pr.src) >= pr.p {
+		return nil
+	}
+	pr.scratch = pr.scratch[:0]
+	if row > 0 {
+		pr.scratch = append(pr.scratch, RefreshRange{Lo: row - 1, Hi: row - 1})
+	}
+	if row < pr.rows-1 {
+		pr.scratch = append(pr.scratch, RefreshRange{Lo: row + 1, Hi: row + 1})
+	}
+	pr.counts.RefreshEvents++
+	for _, rr := range pr.scratch {
+		pr.counts.RowsRefreshed += int64(rr.Rows())
+	}
+	return pr.scratch
+}
+
+// OnIntervalBoundary implements Scheme (PRA keeps no state).
+func (pr *PRA) OnIntervalBoundary() {}
+
+// Counts implements Scheme.
+func (pr *PRA) Counts() Counts { return pr.counts }
+
+// PRAProbabilityForThreshold returns the probability the paper pairs with
+// each refresh threshold so that 5-year unsurvivability stays below the
+// Chipkill reference of 1e-4 (Fig. 12): T=64K -> 0.001, 32K -> 0.002,
+// 16K -> 0.003, 8K -> 0.005.
+func PRAProbabilityForThreshold(t uint32) float64 {
+	switch {
+	case t >= 64*1024:
+		return 0.001
+	case t >= 32*1024:
+		return 0.002
+	case t >= 16*1024:
+		return 0.003
+	default:
+		return 0.005
+	}
+}

@@ -1,0 +1,233 @@
+// Package reliability implements the paper's probabilistic-refresh
+// reliability analysis (§III-A):
+//
+//   - Eq. 1's closed-form Y-year unsurvivability of PRA,
+//     (1-p)^T * Q0 * Q1, plotted in Fig. 1 against the Chipkill reference
+//     of 1e-4; and
+//
+//   - the Monte-Carlo study of PRA driven by a cheap LFSR-based PRNG, which
+//     shows that correlated random bits destroy the analytic guarantee (the
+//     paper: "for T=16K and p=0.005, PRA's unsurvivability reaches 1E-4
+//     after only 25 refresh intervals" with an LFSR).
+package reliability
+
+import (
+	"fmt"
+	"math"
+
+	"catsim/internal/rng"
+)
+
+// ChipkillReference is the comparison line of Fig. 1.
+const ChipkillReference = 1e-4
+
+// RefreshIntervalsPerYear counts 64 ms windows in one year.
+const RefreshIntervalsPerYear = 365.25 * 24 * 3600 / 0.064
+
+// Q1 returns the number of 64 ms periods in the given number of years
+// (Eq. 1's Q1).
+func Q1(years float64) float64 { return years * RefreshIntervalsPerYear }
+
+// Unsurvivability evaluates Eq. 1: the probability of at least one
+// crosstalk failure in `years` years for PRA with per-access refresh
+// probability p, refresh threshold t, and q0 refresh-threshold windows per
+// refresh interval. The probability is clamped to [0, 1].
+func Unsurvivability(p float64, t uint32, q0 int, years float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("reliability: p %v out of (0,1)", p)
+	}
+	if t < 1 || q0 < 1 || years <= 0 {
+		return 0, fmt.Errorf("reliability: invalid T=%d Q0=%d years=%v", t, q0, years)
+	}
+	// (1-p)^T computed in log space to survive T ~ 64K.
+	logTerm := float64(t) * math.Log1p(-p)
+	u := math.Exp(logTerm) * float64(q0) * Q1(years)
+	if u > 1 {
+		u = 1
+	}
+	return u, nil
+}
+
+// DefaultQ0 returns the paper's "mild row accesses" Q0 for each refresh
+// threshold: 10, 15, 20 and 40 for T = 32K, 24K, 16K and 8K.
+func DefaultQ0(t uint32) int {
+	switch {
+	case t >= 32*1024:
+		return 10
+	case t >= 24*1024:
+		return 15
+	case t >= 16*1024:
+		return 20
+	default:
+		return 40
+	}
+}
+
+// MonteCarloConfig parameterises the LFSR study.
+type MonteCarloConfig struct {
+	T         uint32  // refresh threshold
+	P         float64 // nominal refresh probability
+	Q0        int     // threshold windows per refresh interval
+	Intervals int     // refresh intervals to simulate per trial
+	Trials    int     // independent trials (seeds)
+	Rotate    int     // number of aggressor rows the attacker rotates over
+	SeedBase  uint64
+	// TapMask selects the LFSR feedback polynomial for MonteCarloLFSR;
+	// zero selects rng.WeakMask16 (the cheap two-tap x^16+x^8+1 whose
+	// short cycles are the failure mechanism: most seeds yield a periodic
+	// 9-bit stream that never produces a refresh decision).
+	TapMask uint32
+}
+
+// MonteCarloResult reports the estimated probability that a victim fails
+// within the simulated horizon.
+type MonteCarloResult struct {
+	Failures  int
+	Trials    int
+	FailProb  float64
+	FirstFail int // interval index of the earliest failure, -1 if none
+}
+
+// bitsSource draws 9-bit refresh decisions the way the hardware would:
+// stepping the generator 9 bits per activation.
+type bitsSource interface {
+	Step() uint64
+}
+
+func draw9(s bitsSource) uint64 {
+	var v uint64
+	for i := 0; i < 9; i++ {
+		v = v<<1 | s.Step()
+	}
+	return v
+}
+
+// runTrial simulates one attack horizon with the given bit stepper and
+// returns the interval of the first victim failure, or -1.
+//
+// The attack model follows the paper's hammering setup: the attacker
+// rotates over cfg.Rotate aggressor rows as fast as the bank allows,
+// issuing Q0*T activations per refresh interval. Every activation of an
+// aggressor increments its victims' exposure; with probability p (a 9-bit
+// draw below the threshold) PRA refreshes the two victims, zeroing that
+// aggressor's exposure. A victim fails when exposure reaches T between
+// refreshes. Auto-refresh clears everything at interval boundaries.
+func runTrial(cfg *MonteCarloConfig, draw func() uint64) int {
+	th := uint64(math.Round(cfg.P * 512))
+	if th < 1 {
+		th = 1
+	}
+	exposure := make([]uint32, cfg.Rotate)
+	accessesPerInterval := int64(cfg.Q0) * int64(cfg.T)
+	for interval := 0; interval < cfg.Intervals; interval++ {
+		for i := range exposure {
+			exposure[i] = 0
+		}
+		var agg int
+		for a := int64(0); a < accessesPerInterval; a++ {
+			exposure[agg]++
+			if exposure[agg] >= cfg.T {
+				return interval
+			}
+			if draw() < th {
+				exposure[agg] = 0
+			}
+			agg = (agg + 1) % cfg.Rotate
+		}
+	}
+	return -1
+}
+
+func (cfg *MonteCarloConfig) validate() error {
+	if cfg.T < 1 || cfg.P <= 0 || cfg.P >= 1 || cfg.Q0 < 1 ||
+		cfg.Intervals < 1 || cfg.Trials < 1 || cfg.Rotate < 1 {
+		return fmt.Errorf("reliability: invalid Monte-Carlo config %+v", *cfg)
+	}
+	return nil
+}
+
+// MonteCarloLFSR estimates PRA's failure probability when its PRNG is a
+// 16-bit LFSR (the cheap hardware design of the paper's [40, 41]), stepped
+// 9 bits per refresh decision. With a maximal polynomial the decision
+// stream has period 2^16-1 bits and blind hammering essentially never sees
+// a refresh-free run of T draws; with the cheap non-maximal polynomials
+// (short cycles) a large fraction of seeds produce a periodic stream that
+// contains no refresh decision at all, so those systems never refresh and
+// fail deterministically — the collapse of Eq. 1's guarantee the paper's
+// Monte-Carlo study reports.
+func MonteCarloLFSR(cfg MonteCarloConfig) (MonteCarloResult, error) {
+	if err := cfg.validate(); err != nil {
+		return MonteCarloResult{}, err
+	}
+	mask := cfg.TapMask
+	if mask == 0 {
+		mask = rng.WeakMask16
+	}
+	res := MonteCarloResult{Trials: cfg.Trials, FirstFail: -1}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		seed := uint32(cfg.SeedBase) + uint32(trial)*2654435761 + 1
+		l := rng.NewFibLFSR(16, mask, seed)
+		if first := runTrial(&cfg, func() uint64 { return draw9(l) }); first >= 0 {
+			res.Failures++
+			if res.FirstFail < 0 || first < res.FirstFail {
+				res.FirstFail = first
+			}
+		}
+	}
+	res.FailProb = float64(res.Failures) / float64(res.Trials)
+	return res, nil
+}
+
+// SyncAttackAccesses models the phase-aware adversary against a *maximal*
+// LFSR: because the decision stream is deterministic with a short period,
+// an attacker who knows the register phase issues its aggressor accesses
+// only when the upcoming decision will NOT refresh, wasting the refresh
+// decisions on dummy rows. It returns the number of total accesses needed
+// to land t aggressor activations with zero refreshes — always finite, so
+// the attack always succeeds once a bank sustains that many activations
+// between auto-refreshes. The second return reports the overhead ratio
+// (total/t).
+func SyncAttackAccesses(t uint32, p float64, mask uint32, seed uint32) (int64, float64) {
+	th := uint64(math.Round(p * 512))
+	if th < 1 {
+		th = 1
+	}
+	if mask == 0 {
+		mask = rng.MaximalMask16
+	}
+	l := rng.NewFibLFSR(16, mask, seed)
+	var total, hits int64
+	for hits < int64(t) {
+		// The adversary predicts the next 9-bit draw (it knows the
+		// polynomial and phase) and routes the access accordingly.
+		if draw9(l) < th {
+			total++ // dummy access absorbs the refresh on an unrelated row
+			continue
+		}
+		total++
+		hits++
+	}
+	return total, float64(total) / float64(t)
+}
+
+// MonteCarloIdeal estimates the same failure probability with a
+// high-quality PRNG; it validates the Monte-Carlo harness against Eq. 1
+// (for feasible horizons both are effectively zero at the paper's
+// parameters, and they agree at artificially small T).
+func MonteCarloIdeal(cfg MonteCarloConfig) (MonteCarloResult, error) {
+	if err := cfg.validate(); err != nil {
+		return MonteCarloResult{}, err
+	}
+	res := MonteCarloResult{Trials: cfg.Trials, FirstFail: -1}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		src := rng.NewXoshiro256(cfg.SeedBase + uint64(trial))
+		if first := runTrial(&cfg, func() uint64 { return rng.Bits(src, 9) }); first >= 0 {
+			res.Failures++
+			if res.FirstFail < 0 || first < res.FirstFail {
+				res.FirstFail = first
+			}
+		}
+	}
+	res.FailProb = float64(res.Failures) / float64(res.Trials)
+	return res, nil
+}

@@ -1,0 +1,178 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"catsim/internal/rng"
+)
+
+func TestUnsurvivabilityMatchesPaperAnchors(t *testing.T) {
+	// §III-A: "for T=32K and p > 0.001, PRA's unsurvivability is lower
+	// than the Chipkill's unsurvivability of 1E-4" and footnote 2:
+	// "PRA p=0.001 probability of failure is higher than 1E-4".
+	u1, err := Unsurvivability(0.001, 32*1024, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 <= ChipkillReference {
+		t.Errorf("p=0.001, T=32K: unsurvivability %g, paper says above 1e-4", u1)
+	}
+	u2, err := Unsurvivability(0.002, 32*1024, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2 >= ChipkillReference {
+		t.Errorf("p=0.002, T=32K: unsurvivability %g, paper says below 1e-4", u2)
+	}
+}
+
+func TestUnsurvivabilityClosedForm(t *testing.T) {
+	// Check against a direct small-number evaluation.
+	got, err := Unsurvivability(0.01, 100, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.99, 100) * 5 * Q1(1)
+	if want > 1 {
+		want = 1
+	}
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("got %g, want %g", got, want)
+	}
+}
+
+func TestUnsurvivabilityMonotoneInPAndT(t *testing.T) {
+	prev := 1.1 // unsurvivability clamps at 1, so start above the clamp
+	for _, p := range []float64{0.001, 0.002, 0.003, 0.004, 0.005, 0.006} {
+		u, err := Unsurvivability(p, 16*1024, 20, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u >= prev {
+			t.Errorf("unsurvivability not decreasing in p at %v", p)
+		}
+		prev = u
+	}
+	// Smaller T -> higher unsurvivability at fixed p (Fig. 1's key trend).
+	uBig, _ := Unsurvivability(0.003, 32*1024, 10, 5)
+	uSmall, _ := Unsurvivability(0.003, 8*1024, 40, 5)
+	if uSmall <= uBig {
+		t.Errorf("T=8K (%g) should be far less survivable than T=32K (%g)", uSmall, uBig)
+	}
+}
+
+func TestUnsurvivabilityValidation(t *testing.T) {
+	if _, err := Unsurvivability(0, 100, 1, 1); err == nil {
+		t.Error("expected p error")
+	}
+	if _, err := Unsurvivability(0.5, 0, 1, 1); err == nil {
+		t.Error("expected T error")
+	}
+	if _, err := Unsurvivability(0.5, 100, 0, 1); err == nil {
+		t.Error("expected Q0 error")
+	}
+	if _, err := Unsurvivability(0.5, 100, 1, 0); err == nil {
+		t.Error("expected years error")
+	}
+}
+
+func TestDefaultQ0(t *testing.T) {
+	cases := map[uint32]int{32768: 10, 24576: 15, 16384: 20, 8192: 40}
+	for th, want := range cases {
+		if got := DefaultQ0(th); got != want {
+			t.Errorf("Q0(%d) = %d, want %d", th, got, want)
+		}
+	}
+}
+
+func TestMonteCarloIdealAgreesWithClosedForm(t *testing.T) {
+	// At an artificially small T the per-window failure probability is
+	// large enough to measure: expected per-interval failure rate is about
+	// Q0 * (1-p)^T per window... validate the harness produces failures at
+	// a rate within a factor of a few of the analytic per-trial estimate.
+	cfg := MonteCarloConfig{
+		T: 256, P: 0.01, Q0: 4, Intervals: 10, Trials: 400, Rotate: 1, SeedBase: 42,
+	}
+	res, err := MonteCarloIdeal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(single window survives refresh-free run of T) ~ (1-p)^T = 0.076;
+	// windows per trial = Q0 * Intervals = 40 -> P(fail) ~ 1-(1-0.076)^40 ~ 0.96.
+	if res.FailProb < 0.5 {
+		t.Errorf("ideal MC fail prob %v, want high at these parameters", res.FailProb)
+	}
+
+	// At the paper's real parameters the ideal PRNG essentially never
+	// fails within a feasible horizon.
+	cfg2 := MonteCarloConfig{
+		T: 16384, P: 0.005, Q0: 20, Intervals: 2, Trials: 10, Rotate: 1, SeedBase: 7,
+	}
+	res2, err := MonteCarloIdeal(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Failures != 0 {
+		t.Errorf("ideal PRNG failed %d/%d at paper parameters; (1-p)^T ~ 2e-36", res2.Failures, res2.Trials)
+	}
+}
+
+func TestMonteCarloWeakLFSRFailsCatastrophically(t *testing.T) {
+	// The cheap two-tap LFSR has cycles of length <= 24 bits; most seeds
+	// produce a periodic decision stream with no refresh decisions, so the
+	// failure probability is large and failures happen immediately —
+	// the qualitative collapse the paper's Monte-Carlo study reports.
+	cfg := MonteCarloConfig{
+		T: 16384, P: 0.005, Q0: 20, Intervals: 5, Trials: 200, Rotate: 1, SeedBase: 99,
+	}
+	res, err := MonteCarloLFSR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailProb <= ChipkillReference {
+		t.Errorf("weak LFSR fail prob %v, want far above the Chipkill reference", res.FailProb)
+	}
+	if res.FirstFail != 0 {
+		t.Errorf("first failure in interval %d, want immediate", res.FirstFail)
+	}
+}
+
+func TestMonteCarloMaximalLFSRSafeAgainstBlindHammering(t *testing.T) {
+	// With a maximal polynomial the decision stream's period (2^16-1 bits)
+	// contains refresh decisions every few hundred draws, so a blind
+	// single-row hammer never accumulates T=16K refresh-free draws.
+	cfg := MonteCarloConfig{
+		T: 16384, P: 0.005, Q0: 20, Intervals: 2, Trials: 10, Rotate: 1,
+		SeedBase: 5, TapMask: rng.MaximalMask16,
+	}
+	res, err := MonteCarloLFSR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Errorf("maximal LFSR failed %d/%d under blind hammering", res.Failures, res.Trials)
+	}
+}
+
+func TestSyncAttackAlwaysDefeatsMaximalLFSR(t *testing.T) {
+	// The phase-aware adversary always reaches T aggressor activations
+	// with zero refreshes, at bounded overhead.
+	total, overhead := SyncAttackAccesses(16384, 0.005, rng.MaximalMask16, 0xBEEF)
+	if total < 16384 {
+		t.Fatalf("impossible: %d total accesses < T", total)
+	}
+	if overhead > 1.2 {
+		t.Errorf("overhead ratio %v; evading refreshes should be cheap (p small)", overhead)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	bad := MonteCarloConfig{}
+	if _, err := MonteCarloLFSR(bad); err == nil {
+		t.Error("expected config error")
+	}
+	if _, err := MonteCarloIdeal(bad); err == nil {
+		t.Error("expected config error")
+	}
+}

@@ -1,0 +1,61 @@
+package rng
+
+// SplitMix64 is Vigna's splitmix64 generator: a tiny, statistically strong
+// 64-bit generator with period 2^64. It is the default "true PRNG" stand-in
+// for the hardware TRNG assumed by PRA's reliability analysis, and it seeds
+// the larger-state generators.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 implements xoshiro256** 1.0 (Blackman & Vigna), a fast
+// general-purpose generator with period 2^256-1. Used wherever long,
+// independent streams are needed (per-core workload generators).
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator whose state is expanded from seed with
+// SplitMix64, as recommended by the xoshiro authors.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Uint64()
+	}
+	// An all-zero state is invalid (fixed point); SplitMix64 cannot emit
+	// four consecutive zeros, but guard anyway for safety.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value in the stream.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}

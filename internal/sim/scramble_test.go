@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"catsim/internal/dram"
+	"catsim/internal/mitigation"
+	"catsim/internal/trace"
+)
+
+// The §VII physical-adjacency study: crosstalk couples physically adjacent
+// wordlines, so a controller that knows the DRAM's row remapping tracks and
+// refreshes physical rows; one that does not is unsound.
+
+func scrambledCfg(t *testing.T, ignore bool) Config {
+	t.Helper()
+	cfg := smallCfg(SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11})
+	cfg.Geometry = dram.Default2Channel()
+	cfg.Threshold = 256
+	cfg.CheckProtection = true
+	s, err := dram.NewStrideScrambler(cfg.Geometry.RowsPerBank, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scrambler = s
+	cfg.IgnoreScrambler = ignore
+	return cfg
+}
+
+func TestScramblerAwareControllerStaysSound(t *testing.T) {
+	res, err := Run(scrambledCfg(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleViolations != 0 {
+		t.Errorf("%d protection violations with a scramble-aware controller", res.OracleViolations)
+	}
+}
+
+func TestIgnoringScramblerIsUnsafe(t *testing.T) {
+	// Failure injection: with the translation omitted, the scheme guards
+	// logical ranges while the crosstalk happens between physical
+	// neighbours; a row-hammering workload must slip through.
+	cfg := scrambledCfg(t, true)
+	cfg.Attack = &AttackConfig{Kernel: 1, Mode: trace.Heavy}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleViolations == 0 {
+		t.Error("expected protection violations when the scrambler is ignored")
+	}
+}

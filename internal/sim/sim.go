@@ -1,0 +1,412 @@
+// Package sim wires the substrates into the paper's experimental platform:
+// multi-core request streams (internal/trace, internal/cpu) drive the
+// memory controller (internal/memctrl) through an address-mapping policy
+// (internal/addrmap), with a crosstalk-mitigation scheme
+// (internal/mitigation, internal/core) observing every row activation and
+// injecting victim refreshes. A run measures everything the paper reports:
+// the CMRPO energy breakdown (via internal/energy) and the execution-time
+// overhead (via a paired run against the no-mitigation baseline with the
+// identical request streams).
+package sim
+
+import (
+	"fmt"
+
+	"catsim/internal/addrmap"
+	"catsim/internal/core"
+	"catsim/internal/cpu"
+	"catsim/internal/dram"
+	"catsim/internal/energy"
+	"catsim/internal/memctrl"
+	"catsim/internal/mitigation"
+	"catsim/internal/rng"
+	"catsim/internal/trace"
+)
+
+// SchemeSpec is a buildable description of a mitigation scheme, the unit
+// the experiment harness iterates over.
+type SchemeSpec struct {
+	Kind      mitigation.Kind
+	Counters  int     // per bank: SCA groups, CAT counters, cache entries
+	MaxLevels int     // CAT tree depth L
+	PRAProb   float64 // PRA only; 0 selects the paper's p for the threshold
+	Ways      int     // counter cache associativity (default 8)
+}
+
+// Label returns the figure label ("DRCAT_64", "PRA_0.002", ...).
+func (s SchemeSpec) Label(threshold uint32) string {
+	switch s.Kind {
+	case mitigation.KindNone:
+		return "None"
+	case mitigation.KindPRA:
+		p := s.PRAProb
+		if p == 0 {
+			p = mitigation.PRAProbabilityForThreshold(threshold)
+		}
+		return fmt.Sprintf("PRA_%g", p)
+	default:
+		return fmt.Sprintf("%s_%d", kindShort(s.Kind), s.Counters)
+	}
+}
+
+func kindShort(k mitigation.Kind) string {
+	if k == mitigation.KindCounterCache {
+		return "CC"
+	}
+	return k.String()
+}
+
+// Build instantiates the scheme for a system with the given banks and rows
+// per bank at the given refresh threshold.
+func (s SchemeSpec) Build(banks, rowsPerBank int, threshold uint32, seed uint64) (mitigation.Scheme, error) {
+	switch s.Kind {
+	case mitigation.KindNone:
+		return mitigation.NewNone(), nil
+	case mitigation.KindSCA:
+		return mitigation.NewSCA(banks, rowsPerBank, s.Counters, threshold)
+	case mitigation.KindPRA:
+		p := s.PRAProb
+		if p == 0 {
+			p = mitigation.PRAProbabilityForThreshold(threshold)
+		}
+		return mitigation.NewPRA(rowsPerBank, p, rng.NewXoshiro256(seed^0x9e3779b97f4a7c15))
+	case mitigation.KindPRCAT, mitigation.KindDRCAT:
+		policy := core.PRCAT
+		if s.Kind == mitigation.KindDRCAT {
+			policy = core.DRCAT
+		}
+		return mitigation.NewCAT(banks, core.Config{
+			Rows:             rowsPerBank,
+			Counters:         s.Counters,
+			MaxLevels:        s.MaxLevels,
+			RefreshThreshold: threshold,
+			Policy:           policy,
+		})
+	case mitigation.KindCounterCache:
+		ways := s.Ways
+		if ways == 0 {
+			ways = 8
+		}
+		return mitigation.NewCounterCache(banks, rowsPerBank, threshold, s.Counters, ways)
+	}
+	return nil, fmt.Errorf("sim: unknown scheme kind %v", s.Kind)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Geometry dram.Geometry
+	Timing   dram.Timing
+	// ChannelInterleaved selects the parallelism-maximising mapping
+	// (§VIII-B's 4-channel policy); false selects rw:rk:bk:ch:col:offset.
+	ChannelInterleaved bool
+
+	Cores           int
+	Window          int // outstanding reads per core (0 = cpu.DefaultWindow)
+	CPUPerBus       int // CPU cycles per bus cycle (0 = 4, i.e. 3.2 GHz/800 MHz)
+	RequestsPerCore int
+
+	Workload trace.Spec
+	// WorkloadPerCore optionally gives each core its own workload (a
+	// multi-programmed mix, as in the MSC methodology); when set it must
+	// have exactly Cores entries and overrides Workload.
+	WorkloadPerCore []trace.Spec
+	// Attack, when non-nil, blends kernel-attack traffic into every core's
+	// stream (§VIII-D).
+	Attack *AttackConfig
+
+	Scheme    SchemeSpec
+	Threshold uint32 // refresh threshold T
+
+	// IntervalNS is the auto-refresh interval for scheme resets
+	// (0 = the real 64 ms).
+	IntervalNS float64
+
+	// ThresholdScale records by how much Threshold was scaled down
+	// relative to the modeled hardware threshold (0 or 1 = unscaled).
+	// Scaling the threshold with a shortened run keeps the *number* of
+	// refresh triggers representative of one full interval, which makes
+	// the per-time refresh rate 1/scale too high; Run compensates by (a)
+	// shrinking the bank-busy cost per refreshed row and (b) deflating
+	// the refresh power component, for the threshold-triggered schemes.
+	// PRA refreshes per access, so its rates are already correct and are
+	// not adjusted.
+	ThresholdScale float64
+
+	Seed uint64
+	// CheckProtection attaches the crosstalk oracle (slower; tests only).
+	CheckProtection bool
+
+	// Scrambler models row-address remapping inside the DRAM (§VII's
+	// physical-adjacency assumption): the mitigation scheme and the
+	// oracle operate on physical rows, i.e. the controller knows the
+	// mapping. Nil means identity. IgnoreScrambler feeds the scheme
+	// logical rows instead — the misconfiguration the tests show to be
+	// unsafe (the oracle always judges in physical space).
+	Scrambler       dram.Scrambler
+	IgnoreScrambler bool
+}
+
+// AttackConfig selects a kernel attack blend.
+type AttackConfig struct {
+	Kernel int
+	Mode   trace.AttackMode
+}
+
+// Result is everything one run measures.
+type Result struct {
+	ExecNS           float64
+	Counts           mitigation.Counts
+	Breakdown        energy.Breakdown
+	CMRPO            float64
+	AvgReadLatencyNS float64
+	// VictimBusyFrac is the fraction of total bank-time consumed by
+	// victim refreshes — a deterministic attribution that complements the
+	// paired-run ETO (which carries scheduling noise at small scales).
+	VictimBusyFrac   float64
+	PerBankActs      []int64
+	OracleViolations int64
+	SchemeLabel      string
+}
+
+func (c *Config) fill() {
+	if c.Window == 0 {
+		c.Window = cpu.DefaultWindow
+	}
+	if c.CPUPerBus == 0 {
+		c.CPUPerBus = cpu.DefaultCPUCyclesPerBusCycle
+	}
+	if c.IntervalNS == 0 {
+		c.IntervalNS = dram.RefreshIntervalNS()
+	}
+	if c.ThresholdScale == 0 {
+		c.ThresholdScale = 1
+	}
+	if c.Timing.BusMHz == 0 {
+		c.Timing = dram.DDR3_1600()
+	}
+	if c.Geometry.Channels == 0 {
+		c.Geometry = dram.Default2Channel()
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: need at least one core")
+	}
+	if c.RequestsPerCore < 1 {
+		return fmt.Errorf("sim: need at least one request per core")
+	}
+	if c.Threshold < 1 {
+		return fmt.Errorf("sim: refresh threshold must be positive")
+	}
+	return c.Geometry.Validate()
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	cfg.fill()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+
+	var policy addrmap.Policy
+	var err error
+	if cfg.ChannelInterleaved {
+		policy, err = addrmap.NewChannelInterleaved(cfg.Geometry)
+	} else {
+		policy, err = addrmap.NewRowInterleaved(cfg.Geometry)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	ctrl, err := memctrl.New(cfg.Geometry, cfg.Timing)
+	if err != nil {
+		return Result{}, err
+	}
+
+	banks := cfg.Geometry.TotalBanks()
+	scheme, err := cfg.Scheme.Build(banks, cfg.Geometry.RowsPerBank, cfg.Threshold, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	thresholdTriggered := scheme.Kind() != mitigation.KindPRA && scheme.Kind() != mitigation.KindNone
+	if cfg.ThresholdScale < 1 && thresholdTriggered {
+		scaled := int(float64(cfg.Timing.RowRefreshCycles())*cfg.ThresholdScale + 0.5)
+		ctrl.SetVictimRowCycles(scaled)
+	}
+
+	var oracle *mitigation.Oracle
+	if cfg.CheckProtection && scheme.Kind() != mitigation.KindPRA && scheme.Kind() != mitigation.KindNone {
+		oracle = mitigation.NewOracle(banks, cfg.Geometry.RowsPerBank, cfg.Threshold)
+	}
+
+	type coreState struct {
+		core *cpu.Core
+		gen  trace.Generator
+		left int
+	}
+	if cfg.WorkloadPerCore != nil && len(cfg.WorkloadPerCore) != cfg.Cores {
+		return Result{}, fmt.Errorf("sim: %d per-core workloads for %d cores",
+			len(cfg.WorkloadPerCore), cfg.Cores)
+	}
+	cores := make([]*coreState, cfg.Cores)
+	for i := range cores {
+		c, err := cpu.NewCore(cfg.Window)
+		if err != nil {
+			return Result{}, err
+		}
+		spec := cfg.Workload
+		if cfg.WorkloadPerCore != nil {
+			spec = cfg.WorkloadPerCore[i]
+		}
+		var gen trace.Generator
+		syn, err := trace.NewSynthetic(spec, cfg.Geometry.TotalBytes(),
+			cfg.Geometry.LineBytes, cfg.Seed+uint64(i)*0x1000193)
+		if err != nil {
+			return Result{}, err
+		}
+		gen = syn
+		if cfg.Attack != nil {
+			gen, err = trace.NewAttack(cfg.Attack.Kernel, cfg.Attack.Mode, cfg.Geometry, policy, syn)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		cores[i] = &coreState{core: c, gen: gen, left: cfg.RequestsPerCore}
+	}
+
+	cpuNS := 1000.0 / (float64(cfg.Timing.BusMHz) * float64(cfg.CPUPerBus)) // ns per CPU cycle
+	intervalCPU := int64(cfg.IntervalNS / cpuNS)
+	nextInterval := intervalCPU
+
+	perBank := make([]int64, banks)
+	remaining := cfg.Cores
+	for remaining > 0 {
+		// Advance the core with the smallest local clock (keeps bank and
+		// channel contention causally ordered across cores).
+		var cs *coreState
+		for _, c := range cores {
+			if c.left == 0 {
+				continue
+			}
+			if cs == nil || c.core.Now < cs.core.Now {
+				cs = c
+			}
+		}
+		req := cs.gen.Next()
+		cs.core.AdvanceGap(req.Gap)
+		issueCPU := cs.core.PrepareIssue()
+
+		// Auto-refresh interval boundary (burst semantics, §V).
+		for intervalCPU > 0 && issueCPU >= nextInterval {
+			scheme.OnIntervalBoundary()
+			if oracle != nil {
+				oracle.RefreshAll()
+			}
+			nextInterval += intervalCPU
+		}
+
+		coord := policy.Decode(req.Addr)
+		flat := cfg.Geometry.Flat(coord.Bank)
+		perBank[flat]++
+		issueBus := issueCPU / int64(cfg.CPUPerBus)
+
+		// Crosstalk couples physically adjacent wordlines: track (and
+		// refresh) in physical row space unless misconfigured.
+		trackRow := coord.Row
+		physRow := coord.Row
+		if cfg.Scrambler != nil {
+			physRow = cfg.Scrambler.ToPhysical(coord.Row)
+			if !cfg.IgnoreScrambler {
+				trackRow = physRow
+			}
+		}
+		ranges := scheme.OnActivate(flat, trackRow)
+		if oracle != nil {
+			oracle.Activate(flat, physRow)
+		}
+		if req.Write {
+			ctrl.Write(issueBus, coord)
+			cs.core.NoteWrite()
+		} else {
+			doneBus := ctrl.Read(issueBus, coord)
+			cs.core.NoteRead(doneBus * int64(cfg.CPUPerBus))
+		}
+		// The victim refresh queues behind the triggering activation.
+		for _, rr := range ranges {
+			ctrl.VictimRefresh(issueBus, flat, rr.Rows())
+			if oracle != nil {
+				oracle.Refresh(flat, rr)
+			}
+		}
+		cs.left--
+		if cs.left == 0 {
+			remaining--
+		}
+	}
+
+	var endCPU int64
+	for _, c := range cores {
+		if d := c.core.Drain(); d > endCPU {
+			endCPU = d
+		}
+	}
+	ctrl.FlushWrites(endCPU / int64(cfg.CPUPerBus))
+	execNS := float64(endCPU) * cpuNS
+
+	counts := scheme.Counts()
+	breakdown, err := energy.Compute(scheme.Kind(), scheme.CountersPerBank(), counts, banks, execNS)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.ThresholdScale < 1 && thresholdTriggered {
+		// See Config.ThresholdScale: trigger counts match a full interval
+		// while simulated time is scale*interval.
+		breakdown.RefreshMW *= cfg.ThresholdScale
+	}
+	busNS := 1000.0 / float64(cfg.Timing.BusMHz)
+	res := Result{
+		ExecNS:           execNS,
+		Counts:           counts,
+		Breakdown:        breakdown,
+		CMRPO:            breakdown.CMRPO(),
+		AvgReadLatencyNS: ctrl.AvgReadLatencyNS(),
+		VictimBusyFrac:   float64(ctrl.Stats().VictimRefreshBusy) * busNS / (float64(banks) * execNS),
+		PerBankActs:      perBank,
+		SchemeLabel:      cfg.Scheme.Label(cfg.Threshold),
+	}
+	if oracle != nil {
+		res.OracleViolations = oracle.Violations()
+	}
+	return res, nil
+}
+
+// PairResult reports a scheme run against its no-mitigation baseline.
+type PairResult struct {
+	Scheme   Result
+	Baseline Result
+	// ETO is the execution-time overhead (§VI): the relative slowdown of
+	// the identical request streams caused by victim-refresh stalls.
+	ETO float64
+}
+
+// RunPair runs cfg twice with identical seeds — once with the configured
+// scheme and once with mitigation disabled — and reports the ETO.
+func RunPair(cfg Config) (PairResult, error) {
+	withScheme, err := Run(cfg)
+	if err != nil {
+		return PairResult{}, err
+	}
+	base := cfg
+	base.Scheme = SchemeSpec{Kind: mitigation.KindNone}
+	baseline, err := Run(base)
+	if err != nil {
+		return PairResult{}, err
+	}
+	eto := 0.0
+	if baseline.ExecNS > 0 {
+		eto = (withScheme.ExecNS - baseline.ExecNS) / baseline.ExecNS
+	}
+	return PairResult{Scheme: withScheme, Baseline: baseline, ETO: eto}, nil
+}

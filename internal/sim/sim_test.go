@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"catsim/internal/dram"
+	"catsim/internal/mitigation"
+	"catsim/internal/trace"
+)
+
+// smallCfg returns a fast configuration for tests: small bank, reduced
+// threshold, short run. The interval is scaled in proportion.
+func smallCfg(spec SchemeSpec) Config {
+	wl, _ := trace.Lookup("comm1")
+	return Config{
+		Cores:           2,
+		RequestsPerCore: 60_000,
+		Workload:        wl,
+		Scheme:          spec,
+		Threshold:       2048,  // a 16K hardware threshold scaled by 1/8
+		ThresholdScale:  0.125, // keeps refresh stall/power rates representative
+		IntervalNS:      2e6,   // 2 ms
+		Seed:            42,
+	}
+}
+
+func TestRunBaselineNoMitigation(t *testing.T) {
+	res, err := Run(smallCfg(SchemeSpec{Kind: mitigation.KindNone}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecNS <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	if res.Counts.Activations != 120_000 {
+		t.Errorf("activations = %d, want 120000", res.Counts.Activations)
+	}
+	if res.CMRPO != 0 {
+		t.Errorf("baseline CMRPO = %v, want 0", res.CMRPO)
+	}
+	if res.AvgReadLatencyNS < 30 {
+		t.Errorf("avg read latency %v ns implausibly low", res.AvgReadLatencyNS)
+	}
+	var total int64
+	for _, a := range res.PerBankActs {
+		total += a
+	}
+	if total != 120_000 {
+		t.Errorf("per-bank activations sum %d", total)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := smallCfg(SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11})
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecNS != b.ExecNS || a.Counts != b.Counts {
+		t.Error("identical configs produced different results")
+	}
+}
+
+func TestRunPairETONonNegativeAndSmall(t *testing.T) {
+	for _, spec := range []SchemeSpec{
+		{Kind: mitigation.KindSCA, Counters: 64},
+		{Kind: mitigation.KindPRCAT, Counters: 64, MaxLevels: 11},
+		{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+		{Kind: mitigation.KindPRA},
+	} {
+		pr, err := RunPair(smallCfg(spec))
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Kind, err)
+		}
+		// Refresh-debt draining can shift auto-refresh alignment by up to
+		// one tRFC relative to the baseline, so tiny negative ETO is noise.
+		if pr.ETO < -0.005 {
+			t.Errorf("%s: ETO = %v, clearly negative", pr.Scheme.SchemeLabel, pr.ETO)
+		}
+		if pr.ETO > 0.25 {
+			t.Errorf("%s: ETO = %v, implausibly large", pr.Scheme.SchemeLabel, pr.ETO)
+		}
+		if pr.Scheme.Counts.Activations != pr.Baseline.Counts.Activations {
+			t.Errorf("%s: paired runs saw different work", pr.Scheme.SchemeLabel)
+		}
+	}
+}
+
+func TestRunProtectionHoldsInFullSystem(t *testing.T) {
+	// End-to-end protection: the oracle must observe zero violations for
+	// the deterministic schemes inside the full timing simulation.
+	for _, spec := range []SchemeSpec{
+		{Kind: mitigation.KindSCA, Counters: 64},
+		{Kind: mitigation.KindPRCAT, Counters: 64, MaxLevels: 11},
+		{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+	} {
+		cfg := smallCfg(spec)
+		cfg.CheckProtection = true
+		cfg.Threshold = 512 // tight threshold to stress triggers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OracleViolations != 0 {
+			t.Errorf("%s: %d protection violations", res.SchemeLabel, res.OracleViolations)
+		}
+	}
+}
+
+func TestSchemesProduceSensibleOrdering(t *testing.T) {
+	// With a hot workload and a small threshold, coarse SCA must refresh
+	// far more rows than the adaptive tree (the paper's core result).
+	run := func(spec SchemeSpec) mitigation.Counts {
+		cfg := smallCfg(spec)
+		cfg.Workload, _ = trace.Lookup("black")
+		cfg.RequestsPerCore = 150_000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counts
+	}
+	sca := run(SchemeSpec{Kind: mitigation.KindSCA, Counters: 64})
+	drcat := run(SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11})
+	if sca.RowsRefreshed == 0 {
+		t.Fatal("SCA refreshed nothing; workload not hot enough for the test")
+	}
+	if drcat.RowsRefreshed >= sca.RowsRefreshed {
+		t.Errorf("DRCAT refreshed %d rows, SCA %d; tree should be far finer",
+			drcat.RowsRefreshed, sca.RowsRefreshed)
+	}
+}
+
+func TestAttackBlending(t *testing.T) {
+	cfg := smallCfg(SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11})
+	cfg.Attack = &AttackConfig{Kernel: 2, Mode: trace.Heavy}
+	cfg.Threshold = 512 // 75% of traffic over 64 targets: ~1.4K activations each
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Activations != 120_000 {
+		t.Errorf("activations = %d", res.Counts.Activations)
+	}
+	// Heavy attacks concentrate traffic: the hottest bank should hold far
+	// more than 1/16 of accesses... targets are spread over banks, but
+	// rows within banks are few; check refreshes were triggered.
+	if res.Counts.RowsRefreshed == 0 {
+		t.Error("heavy attack triggered no victim refreshes")
+	}
+}
+
+func TestQuadCoreGeometry(t *testing.T) {
+	cfg := smallCfg(SchemeSpec{Kind: mitigation.KindSCA, Counters: 128})
+	cfg.Geometry = dram.QuadCore2Channel()
+	cfg.Cores = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Activations != 4*60_000 {
+		t.Errorf("activations = %d", res.Counts.Activations)
+	}
+}
+
+func TestChannelInterleavedSpreadsTraffic(t *testing.T) {
+	base := smallCfg(SchemeSpec{Kind: mitigation.KindNone})
+	base.Workload, _ = trace.Lookup("black")
+	spread := base
+	spread.Geometry = dram.Default4Channel()
+	spread.ChannelInterleaved = true
+
+	gini := func(acts []int64) float64 {
+		var total int64
+		var max int64
+		for _, a := range acts {
+			total += a
+			if a > max {
+				max = a
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(max) / float64(total)
+	}
+	r1, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gini(r2.PerBankActs) >= gini(r1.PerBankActs) {
+		t.Errorf("channel interleaving did not spread load: max-share %.3f vs %.3f",
+			gini(r2.PerBankActs), gini(r1.PerBankActs))
+	}
+}
+
+func TestSchemeSpecLabels(t *testing.T) {
+	cases := map[string]SchemeSpec{
+		"None":      {Kind: mitigation.KindNone},
+		"SCA_128":   {Kind: mitigation.KindSCA, Counters: 128},
+		"PRCAT_64":  {Kind: mitigation.KindPRCAT, Counters: 64},
+		"DRCAT_64":  {Kind: mitigation.KindDRCAT, Counters: 64},
+		"PRA_0.003": {Kind: mitigation.KindPRA},
+		"CC_2048":   {Kind: mitigation.KindCounterCache, Counters: 2048},
+	}
+	for want, spec := range cases {
+		if got := spec.Label(16384); got != want {
+			t.Errorf("label = %q, want %q", got, want)
+		}
+	}
+	if got := (SchemeSpec{Kind: mitigation.KindPRA, PRAProb: 0.005}).Label(16384); got != "PRA_0.005" {
+		t.Errorf("explicit PRA label = %q", got)
+	}
+}
+
+func TestWorkloadPerCoreMix(t *testing.T) {
+	// Multi-programmed mixes (MSC methodology): each core runs a different
+	// trace; the run must consume both and count all activations.
+	black, _ := trace.Lookup("black")
+	libq, _ := trace.Lookup("libq")
+	cfg := smallCfg(SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11})
+	cfg.WorkloadPerCore = []trace.Spec{black, libq}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Activations != 120_000 {
+		t.Errorf("activations = %d", res.Counts.Activations)
+	}
+	// Mismatched count must be rejected.
+	cfg.WorkloadPerCore = []trace.Spec{black}
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected per-core workload count error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := smallCfg(SchemeSpec{Kind: mitigation.KindNone})
+	cfg.Cores = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected cores error")
+	}
+	cfg = smallCfg(SchemeSpec{Kind: mitigation.KindNone})
+	cfg.RequestsPerCore = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected requests error")
+	}
+	cfg = smallCfg(SchemeSpec{Kind: mitigation.KindNone})
+	cfg.Threshold = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected threshold error")
+	}
+}
+
+func TestCMRPOBreakdownConsistency(t *testing.T) {
+	cfg := smallCfg(SchemeSpec{Kind: mitigation.KindSCA, Counters: 64})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Breakdown.DynamicMW + res.Breakdown.StaticMW + res.Breakdown.RefreshMW +
+		res.Breakdown.PRNGMW + res.Breakdown.MissMW
+	if math.Abs(sum-res.Breakdown.TotalMW()) > 1e-12 {
+		t.Error("breakdown does not sum")
+	}
+	if res.CMRPO <= 0 {
+		t.Error("SCA CMRPO must be positive (static floor)")
+	}
+}

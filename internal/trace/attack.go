@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"catsim/internal/addrmap"
+	"catsim/internal/dram"
+	"catsim/internal/rng"
+)
+
+// AttackMode selects the blend of malicious and benign accesses (§VIII-D).
+type AttackMode int
+
+// Attack modes: "Heavy (75% target rows + 25% benign access rows), Medium
+// (50% + 50%) and Light (25% + 75%)".
+const (
+	Heavy AttackMode = iota
+	Medium
+	Light
+)
+
+// String returns the paper's mode label.
+func (m AttackMode) String() string {
+	switch m {
+	case Heavy:
+		return "Heavy"
+	case Medium:
+		return "Medium"
+	case Light:
+		return "Light"
+	}
+	return fmt.Sprintf("AttackMode(%d)", int(m))
+}
+
+// TargetFraction returns the fraction of accesses aimed at target rows.
+func (m AttackMode) TargetFraction() float64 {
+	switch m {
+	case Heavy:
+		return 0.75
+	case Medium:
+		return 0.50
+	default:
+		return 0.25
+	}
+}
+
+// Attack models the paper's kernel attacks: each kernel randomly selects a
+// few target rows (4 per bank, Gaussian-distributed positions) and accesses
+// them "more frequently than other rows in DRAM", blended with a benign
+// memory-intensive workload. Twelve kernels are twelve seeds.
+type Attack struct {
+	name    string
+	mode    AttackMode
+	targets []int64 // encoded line addresses of target rows
+	src     *rng.Xoshiro256
+	benign  Generator
+}
+
+// TargetsPerBank is the paper's target-row count per bank.
+const TargetsPerBank = 4
+
+// NewAttack builds kernel attack number kernel (0..11 in the paper's setup)
+// over the given geometry and mapping policy, blending with the benign
+// generator according to mode.
+func NewAttack(kernel int, mode AttackMode, g dram.Geometry, policy addrmap.Policy, benign Generator) (*Attack, error) {
+	if benign == nil {
+		return nil, fmt.Errorf("trace: attack needs a benign workload to blend with")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.NewXoshiro256(0xA77AC4<<8 | uint64(kernel))
+	a := &Attack{
+		name:   fmt.Sprintf("attack%02d-%s+%s", kernel, mode, benign.Name()),
+		mode:   mode,
+		src:    src,
+		benign: benign,
+	}
+	// Gaussian-distributed target rows: centred mid-bank with sigma an
+	// eighth of the bank, folded into range.
+	for ch := 0; ch < g.Channels; ch++ {
+		for rk := 0; rk < g.RanksPerCh; rk++ {
+			for bk := 0; bk < g.BanksPerRk; bk++ {
+				for i := 0; i < TargetsPerBank; i++ {
+					row := gaussianRow(src, g.RowsPerBank)
+					addr := policy.Encode(addrmap.Coord{
+						Bank: dram.BankID{Channel: ch, Rank: rk, Bank: bk},
+						Row:  row,
+						Col:  rng.Intn(src, g.LinesPerRow()),
+					})
+					a.targets = append(a.targets, addr)
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+func gaussianRow(src rng.Source, rows int) int {
+	center, sigma := float64(rows)/2, float64(rows)/8
+	for {
+		r := int(math.Round(center + sigma*rng.NormFloat64(src)))
+		if r >= 0 && r < rows {
+			return r
+		}
+	}
+}
+
+// Name implements Generator.
+func (a *Attack) Name() string { return a.name }
+
+// Mode returns the blend mode.
+func (a *Attack) Mode() AttackMode { return a.mode }
+
+// Targets returns the encoded target addresses (diagnostics).
+func (a *Attack) Targets() []int64 { return a.targets }
+
+// Next implements Generator: with the mode's probability emit an access to
+// a random target row (tight hammering gap), otherwise pass the benign
+// request through.
+func (a *Attack) Next() Request {
+	if rng.Float64(a.src) < a.mode.TargetFraction() {
+		return Request{
+			Addr: a.targets[rng.Intn(a.src, len(a.targets))],
+			Gap:  8, // hammer loops are tight: a CLFLUSH + load pair
+		}
+	}
+	return a.benign.Next()
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"sort"
+
+	"catsim/internal/addrmap"
+	"catsim/internal/dram"
+)
+
+// RowHistogram counts row activations per bank over n requests from gen,
+// decoded through the given mapping policy. It reproduces the measurement
+// behind the paper's Fig. 3 (row-address frequency in a DRAM bank during
+// one refresh interval).
+func RowHistogram(gen Generator, g dram.Geometry, policy addrmap.Policy, n int) [][]int64 {
+	hist := make([][]int64, g.TotalBanks())
+	for b := range hist {
+		hist[b] = make([]int64, g.RowsPerBank)
+	}
+	for i := 0; i < n; i++ {
+		c := policy.Decode(gen.Next().Addr)
+		hist[g.Flat(c.Bank)][c.Row]++
+	}
+	return hist
+}
+
+// SkewSummary condenses one bank's histogram into the statistics the
+// paper's motivation rests on: what fraction of accesses the top-k rows
+// absorb, and how many distinct rows were touched.
+type SkewSummary struct {
+	Total         int64
+	TouchedRows   int
+	MaxPerRow     int64
+	Top16Frac     float64 // fraction of accesses landing on the 16 hottest rows
+	Top256Frac    float64
+	MedianNonZero int64
+}
+
+// Summarise computes a SkewSummary for one bank histogram.
+func Summarise(rows []int64) SkewSummary {
+	var s SkewSummary
+	nonZero := make([]int64, 0, 1024)
+	for _, c := range rows {
+		if c == 0 {
+			continue
+		}
+		s.Total += c
+		nonZero = append(nonZero, c)
+		if c > s.MaxPerRow {
+			s.MaxPerRow = c
+		}
+	}
+	s.TouchedRows = len(nonZero)
+	if s.Total == 0 {
+		return s
+	}
+	sort.Slice(nonZero, func(i, j int) bool { return nonZero[i] > nonZero[j] })
+	var top int64
+	for i, c := range nonZero {
+		top += c
+		if i == 15 {
+			s.Top16Frac = float64(top) / float64(s.Total)
+		}
+		if i == 255 {
+			s.Top256Frac = float64(top) / float64(s.Total)
+			break
+		}
+	}
+	if s.Top16Frac == 0 {
+		s.Top16Frac = 1
+	}
+	if s.Top256Frac == 0 {
+		s.Top256Frac = 1
+	}
+	s.MedianNonZero = nonZero[len(nonZero)/2]
+	return s
+}
