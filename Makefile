@@ -1,0 +1,37 @@
+# Mirrors .github/workflows/ci.yml so local and CI invocations stay
+# identical: `make build test race bench` is exactly what CI runs.
+
+GO ?= go
+
+.PHONY: all build fmt vet test race bench repro
+
+all: build fmt vet test
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package guards its full sweeps behind -short so the
+# race pass stays within CI's time budget.
+race:
+	$(GO) test -race -short ./...
+
+# Benchmark smoke: every benchmark once, no measurement repetition.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Full reproduction of the paper's tables and figures at default scale,
+# all cores, shared result cache.
+repro:
+	$(GO) run ./cmd/experiments

@@ -12,6 +12,7 @@ import (
 	"catsim/internal/mitigation"
 	"catsim/internal/reliability"
 	"catsim/internal/rng"
+	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
 )
@@ -108,6 +109,57 @@ func BenchmarkFullSystemSimulation(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Counts.Activations), "requests/op")
+	}
+}
+
+// --- Runner engine: the sequential path vs the worker pool + cache. ---
+// Comparing these two pairs is the repo's standing speedup measurement:
+// identical grids, identical output, different wall-clock.
+
+func BenchmarkFig8GridSequentialNoCache(b *testing.B) {
+	o := benchOpts()
+	o.Parallel = 1
+	o.NoCache = true
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(o, 16384, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8GridParallelCached(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(o, 16384, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReproduceFigs89SequentialNoCache(b *testing.B) {
+	o := benchOpts()
+	o.Parallel = 1
+	o.NoCache = true
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(io.Discard, o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig9(io.Discard, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReproduceFigs89ParallelCached(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		o.Cache = runner.NewCache() // one shared cache per reproduction
+		if _, err := experiments.Fig8(io.Discard, o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig9(io.Discard, o); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

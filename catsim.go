@@ -24,6 +24,7 @@ import (
 	"catsim/internal/dram"
 	"catsim/internal/experiments"
 	"catsim/internal/mitigation"
+	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
 )
@@ -91,8 +92,14 @@ func Workloads() []trace.Spec { return trace.Workloads() }
 type ExperimentOptions = experiments.Options
 
 // ReproduceAll regenerates every table and figure to w (see
-// cmd/experiments for per-figure control).
+// cmd/experiments for per-figure control). Simulation cells run
+// concurrently (o.Parallel caps the worker pool) and one result cache is
+// shared across all figures, so e.g. Fig. 9 reuses Fig. 8's paired runs
+// and every no-mitigation baseline is computed exactly once.
 func ReproduceAll(w io.Writer, o ExperimentOptions) error {
+	if o.Cache == nil && !o.NoCache {
+		o.Cache = runner.NewCache()
+	}
 	if err := experiments.Table1(w); err != nil {
 		return err
 	}

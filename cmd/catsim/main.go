@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 
 	"catsim/internal/dram"
 	"catsim/internal/mitigation"
+	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
 )
@@ -36,6 +38,7 @@ func main() {
 		attack    = flag.String("attack", "", "kernel attack mode: heavy, medium, light")
 		kernel    = flag.Int("kernel", 0, "kernel attack number (0..11)")
 		oracle    = flag.Bool("oracle", false, "attach the crosstalk oracle (verifies protection)")
+		parallel  = flag.Int("parallel", 0, "concurrent runs for the scheme/baseline pair (0 = GOMAXPROCS)")
 		list      = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -112,12 +115,16 @@ func main() {
 		cfg.Attack = &sim.AttackConfig{Kernel: *kernel, Mode: mode}
 	}
 
-	pair, err := sim.RunPair(cfg)
+	// The scheme run and its no-mitigation baseline are independent:
+	// runner.Pair executes them concurrently (identical results to
+	// sim.RunPair at any -parallel).
+	eng := &runner.Engine{Parallel: *parallel}
+	pair, err := eng.Pair(context.Background(), cfg)
 	fatal(err)
-	r := pair.Scheme
+	r, baseline := pair.Result, pair.Baseline
 	fmt.Printf("workload   %s (%s)\n", wl.Name, wl.Suite)
 	fmt.Printf("scheme     %s, T=%d (scale %.2f)\n", spec.Label(uint32(*threshold)), *threshold, *scale)
-	fmt.Printf("exec       %.3f ms (baseline %.3f ms)\n", r.ExecNS/1e6, pair.Baseline.ExecNS/1e6)
+	fmt.Printf("exec       %.3f ms (baseline %.3f ms)\n", r.ExecNS/1e6, baseline.ExecNS/1e6)
 	fmt.Printf("activations %d, victim rows refreshed %d (%d commands)\n",
 		r.Counts.Activations, r.Counts.RowsRefreshed, r.Counts.RefreshEvents)
 	fmt.Printf("read latency %.1f ns avg\n", r.AvgReadLatencyNS)

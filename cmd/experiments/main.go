@@ -2,22 +2,31 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.25] [-seed 1] [-workloads a,b,c] [targets...]
+//	experiments [-scale 0.25] [-seed 1] [-parallel 0] [-workloads a,b,c] [targets...]
 //
 // Targets: table1 table2 fig1 lfsr fig2 fig3 fig8 fig9 fig10 fig11 fig12
 // fig13 all (default: all). Scale 1 reproduces full 64 ms intervals;
 // smaller scales shrink interval, threshold and traffic together (rates
 // stay representative, see internal/experiments).
+//
+// Simulation cells run on a deterministic worker pool: -parallel caps the
+// concurrency (0 = GOMAXPROCS, 1 = sequential) and the emitted tables are
+// byte-identical at every setting. One result cache is shared across all
+// requested targets (-cache=false disables it), so fig9 reuses fig8's
+// paired runs and each no-mitigation baseline runs exactly once.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"catsim/internal/experiments"
+	"catsim/internal/runner"
 )
 
 func main() {
@@ -28,10 +37,21 @@ func main() {
 		intervals = flag.Int("intervals", 1, "auto-refresh intervals per run")
 		trials    = flag.Int("lfsr-trials", 200, "Monte-Carlo trials for the LFSR study")
 		quiet     = flag.Bool("q", false, "suppress progress lines")
+		parallel  = flag.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
+		cache     = flag.Bool("cache", true, "memoize shared runs (baselines) across figures")
 	)
 	flag.Parse()
 
-	o := experiments.Options{Scale: *scale, Seed: *seed, Quiet: *quiet, Intervals: *intervals}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	o := experiments.Options{
+		Scale: *scale, Seed: *seed, Quiet: *quiet, Intervals: *intervals,
+		Parallel: *parallel, NoCache: !*cache, Context: ctx,
+	}
+	if *cache {
+		o.Cache = runner.NewCache()
+	}
 	if *workloads != "" {
 		o.Workloads = strings.Split(*workloads, ",")
 	}
@@ -94,5 +114,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "---- %s done in %v ----\n\n", target, time.Since(start).Round(time.Millisecond))
+	}
+	if o.Cache != nil && !*quiet {
+		fmt.Fprintf(w, "result cache: %d simulations run, %d served from cache\n",
+			len(o.Cache.Runs()), o.Cache.Hits())
 	}
 }

@@ -1,0 +1,3 @@
+module catsim
+
+go 1.24

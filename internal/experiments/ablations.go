@@ -7,6 +7,7 @@ import (
 	"catsim/internal/core"
 	"catsim/internal/mitigation"
 	"catsim/internal/rng"
+	"catsim/internal/runner"
 	"catsim/internal/trace"
 )
 
@@ -82,19 +83,24 @@ func AblationLadders(w io.Writer, o Options) ([]AblationPoint, error) {
 		{"geometric T/2^(L-1-l)", core.GeometricLadder(l, threshold)},
 		{"uniform (all rungs at T)", core.UniformLadder(l, threshold)},
 	}
-	var out []AblationPoint
+	out, err := runner.Map(o.Context, o.Parallel, len(variants),
+		func(i int) (AblationPoint, error) {
+			cfg := base
+			cfg.Ladder = variants[i].ladder
+			p, err := replayStream(cfg, o.Seed, n)
+			if err != nil {
+				return AblationPoint{}, err
+			}
+			p.Variant = variants[i].name
+			return p, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	tw := table(w)
 	fmt.Fprintln(tw, "Ablation: split-threshold ladder model (DRCAT_64, L=11, T=32K)")
 	fmt.Fprintln(tw, "ladder\trows refreshed\trefresh events\tSRAM/access")
-	for _, v := range variants {
-		cfg := base
-		cfg.Ladder = v.ladder
-		p, err := replayStream(cfg, o.Seed, n)
-		if err != nil {
-			return nil, err
-		}
-		p.Variant = v.name
-		out = append(out, p)
+	for _, p := range out {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\n", p.Variant, p.RowsRefreshed, p.RefreshEvents, p.SRAMPerAccess)
 	}
 	return out, tw.Flush()
@@ -110,19 +116,25 @@ func AblationWeightBits(w io.Writer, o Options) ([]AblationPoint, error) {
 	const rows, m, l = 1 << 16, 64, 11
 	threshold := scaledThreshold(32768, o.Scale)
 	n := int(2 * CPUCyclesPerInterval / 60 * o.Scale)
-	var out []AblationPoint
+	widths := []int{1, 2, 3, 4}
+	out, err := runner.Map(o.Context, o.Parallel, len(widths),
+		func(i int) (AblationPoint, error) {
+			cfg := core.Config{Rows: rows, Counters: m, MaxLevels: l,
+				RefreshThreshold: threshold, Policy: core.DRCAT, WeightBits: widths[i]}
+			p, err := replayStream(cfg, o.Seed, n)
+			if err != nil {
+				return AblationPoint{}, err
+			}
+			p.Variant = fmt.Sprintf("%d-bit", widths[i])
+			return p, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	tw := table(w)
 	fmt.Fprintln(tw, "Ablation: DRCAT weight-register width (paper: 2 bits)")
 	fmt.Fprintln(tw, "bits\trows refreshed\treconfigurations")
-	for _, bits := range []int{1, 2, 3, 4} {
-		cfg := core.Config{Rows: rows, Counters: m, MaxLevels: l,
-			RefreshThreshold: threshold, Policy: core.DRCAT, WeightBits: bits}
-		p, err := replayStream(cfg, o.Seed, n)
-		if err != nil {
-			return nil, err
-		}
-		p.Variant = fmt.Sprintf("%d-bit", bits)
-		out = append(out, p)
+	for _, p := range out {
 		fmt.Fprintf(tw, "%s\t%d\t%d\n", p.Variant, p.RowsRefreshed, p.Reconfigs)
 	}
 	return out, tw.Flush()
@@ -138,19 +150,25 @@ func AblationPreSplit(w io.Writer, o Options) ([]AblationPoint, error) {
 	const rows, m, l = 1 << 16, 64, 11
 	threshold := scaledThreshold(32768, o.Scale)
 	n := int(2 * CPUCyclesPerInterval / 60 * o.Scale)
-	var out []AblationPoint
+	lambdas := []int{1, 3, 6, 7}
+	out, err := runner.Map(o.Context, o.Parallel, len(lambdas),
+		func(i int) (AblationPoint, error) {
+			cfg := core.Config{Rows: rows, Counters: m, MaxLevels: l,
+				RefreshThreshold: threshold, Policy: core.DRCAT, PreSplit: lambdas[i]}
+			p, err := replayStream(cfg, o.Seed, n)
+			if err != nil {
+				return AblationPoint{}, err
+			}
+			p.Variant = fmt.Sprintf("λ=%d", lambdas[i])
+			return p, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	tw := table(w)
 	fmt.Fprintln(tw, "Ablation: pre-split depth λ (paper default: log2 M = 6)")
 	fmt.Fprintln(tw, "λ\trows refreshed\tSRAM/access")
-	for _, lambda := range []int{1, 3, 6, 7} {
-		cfg := core.Config{Rows: rows, Counters: m, MaxLevels: l,
-			RefreshThreshold: threshold, Policy: core.DRCAT, PreSplit: lambda}
-		p, err := replayStream(cfg, o.Seed, n)
-		if err != nil {
-			return nil, err
-		}
-		p.Variant = fmt.Sprintf("λ=%d", lambda)
-		out = append(out, p)
+	for _, p := range out {
 		fmt.Fprintf(tw, "%s\t%d\t%.2f\n", p.Variant, p.RowsRefreshed, p.SRAMPerAccess)
 	}
 	return out, tw.Flush()
@@ -173,10 +191,8 @@ func AblationCounterCache(w io.Writer, o Options) ([]Cell, error) {
 		{"CC_2048", mitigation.KindCounterCache, 2048},
 	}
 	threshold := uint32(16384)
-	var out []Cell
-	tw := table(w)
-	fmt.Fprintln(tw, "Extension: counter-cache baseline vs DRCAT (T=16K)")
-	fmt.Fprintln(tw, "workload\tscheme\tCMRPO\trows refreshed\textra DRAM accesses")
+	var cells []runner.Cell
+	var labels []struct{ workload, scheme string }
 	for _, name := range o.Workloads {
 		wl, err := trace.Lookup(name)
 		if err != nil {
@@ -184,15 +200,25 @@ func AblationCounterCache(w io.Writer, o Options) ([]Cell, error) {
 		}
 		for _, s := range specs {
 			spec := simSchemeSpec(s.kind, s.m)
-			cfg := baseConfig(o, wl, spec, threshold)
-			res, err := runOne(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Cell{Workload: name, Scheme: s.name, CMRPO: res.CMRPO, Counts: res.Counts})
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\n", name, s.name, pct(res.CMRPO),
-				res.Counts.RowsRefreshed, res.Counts.ExtraMemAcc)
+			cells = append(cells, runner.Cell{
+				Tag: s.name + "/" + name, Config: baseConfig(o, wl, spec, threshold),
+			})
+			labels = append(labels, struct{ workload, scheme string }{name, s.name})
 		}
+	}
+	results, err := o.engine().Grid(o.Context, cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Cell, len(results))
+	tw := table(w)
+	fmt.Fprintln(tw, "Extension: counter-cache baseline vs DRCAT (T=16K)")
+	fmt.Fprintln(tw, "workload\tscheme\tCMRPO\trows refreshed\textra DRAM accesses")
+	for i, r := range results {
+		out[i] = Cell{Workload: labels[i].workload, Scheme: labels[i].scheme,
+			CMRPO: r.Result.CMRPO, Counts: r.Result.Counts}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\n", labels[i].workload, labels[i].scheme,
+			pct(r.Result.CMRPO), r.Result.Counts.RowsRefreshed, r.Result.Counts.ExtraMemAcc)
 	}
 	return out, tw.Flush()
 }

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -21,6 +22,7 @@ import (
 
 	"catsim/internal/dram"
 	"catsim/internal/mitigation"
+	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
 )
@@ -44,6 +46,22 @@ type Options struct {
 	Intervals int
 	// Quiet suppresses progress lines on long sweeps.
 	Quiet bool
+
+	// Parallel caps concurrently executing simulation cells
+	// (0 = GOMAXPROCS, 1 = the sequential reference path). Results and
+	// rendered tables are identical at every setting; only wall-clock
+	// changes.
+	Parallel int
+	// NoCache disables memoization of shared runs (the KindNone
+	// baselines every paired cell re-derives).
+	NoCache bool
+	// Cache shares memoized results across figures. fill() installs a
+	// fresh per-generator cache when nil (unless NoCache); ReproduceAll
+	// and cmd/experiments install a single cache for the whole suite so
+	// e.g. Fig. 9 reuses Fig. 8's paired runs outright.
+	Cache *runner.Cache
+	// Context cancels in-flight grids (nil = context.Background()).
+	Context context.Context
 }
 
 // DefaultOptions is used by the CLI when no flags are given.
@@ -62,7 +80,18 @@ func (o *Options) fill() error {
 	if o.Intervals == 0 {
 		o.Intervals = 1
 	}
+	if o.Cache == nil && !o.NoCache {
+		o.Cache = runner.NewCache()
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
 	return nil
+}
+
+// engine returns the grid executor for these options. Call after fill.
+func (o *Options) engine() *runner.Engine {
+	return &runner.Engine{Parallel: o.Parallel, Cache: o.Cache}
 }
 
 // scaledThreshold scales the refresh threshold with the run, keeping

@@ -11,6 +11,15 @@ import (
 	"catsim/internal/trace"
 )
 
+// skipIfShort skips the full sweep integration tests under -short; CI's
+// race pass uses it to keep this package within its time budget.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped with -short")
+	}
+}
+
 // tiny returns fast options for integration tests: a small scale and a
 // 3-workload subset spanning skewed/commercial/phase-changing behaviour.
 func tiny() Options {
@@ -57,6 +66,7 @@ func TestFig1GridAndChipkillCrossing(t *testing.T) {
 }
 
 func TestLFSRStudyQualitativeClaims(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	res, err := LFSRStudy(&buf, 40)
 	if err != nil {
@@ -140,6 +150,7 @@ func TestTable1And2Render(t *testing.T) {
 }
 
 func TestFig8OrderingsHold(t *testing.T) {
+	skipIfShort(t)
 	o := tiny()
 	data, err := RunFig8(o, 16384, io.Discard)
 	if err != nil {
@@ -175,6 +186,7 @@ func TestFig8OrderingsHold(t *testing.T) {
 }
 
 func TestFig10SweepShape(t *testing.T) {
+	skipIfShort(t)
 	o := tiny()
 	o.Workloads = []string{"black", "comm1"}
 	points, err := RunFig10(o, 32768, io.Discard)
@@ -205,6 +217,7 @@ func TestFig10SweepShape(t *testing.T) {
 }
 
 func TestFig11MappingStudy(t *testing.T) {
+	skipIfShort(t)
 	o := tiny()
 	o.Workloads = []string{"black", "comm1"}
 	points, err := RunFig11(o, 16384, io.Discard)
@@ -235,6 +248,7 @@ func TestFig11MappingStudy(t *testing.T) {
 }
 
 func TestFig13AttackOrdering(t *testing.T) {
+	skipIfShort(t)
 	o := tiny()
 	var buf bytes.Buffer
 	points, err := Fig13(&buf, o)
@@ -292,6 +306,7 @@ func TestFig13AttackOrdering(t *testing.T) {
 }
 
 func TestMultiIntervalDRCATCatchesUpToPRCAT(t *testing.T) {
+	skipIfShort(t)
 	// Over several intervals with phase drift, DRCAT's kept tree must
 	// close (or reverse) the gap to PRCAT, whose rebuild relearns every
 	// interval; with a single interval PRCAT pays no relearning at all.
@@ -316,6 +331,7 @@ func TestMultiIntervalDRCATCatchesUpToPRCAT(t *testing.T) {
 }
 
 func TestHeadlinesAllPass(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	hs, err := Headlines(&buf, tiny())
 	if err != nil {

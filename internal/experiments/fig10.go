@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"catsim/internal/mitigation"
+	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
 )
@@ -45,39 +46,62 @@ func RunFig10Policy(o Options, threshold uint32, kind mitigation.Kind, progress 
 	if err := o.fill(); err != nil {
 		return nil, err
 	}
-	var out []Fig10Point
-	run := func(spec sim.SchemeSpec, label string, m, l int) error {
-		sum := 0.0
+	// Flatten the (M, L) sweep into a bar list, then expand every bar into
+	// its per-workload grid cells.
+	type bar struct {
+		label string
+		m, l  int
+		spec  sim.SchemeSpec
+	}
+	var bars []bar
+	for m := 32; m <= 512; m *= 2 {
+		bars = append(bars, bar{label: "SCA", m: m,
+			spec: sim.SchemeSpec{Kind: mitigation.KindSCA, Counters: m}})
+		minL := bits.TrailingZeros(uint(m)) + 1
+		for l := minL; l <= 14; l++ {
+			bars = append(bars, bar{label: fmt.Sprintf("%s_L%d", kind, l), m: m, l: l,
+				spec: sim.SchemeSpec{Kind: kind, Counters: m, MaxLevels: l}})
+		}
+	}
+	var cells []runner.Cell
+	for _, b := range bars {
 		for wi, name := range o.Workloads {
 			wl, err := trace.Lookup(name)
 			if err != nil {
-				return err
-			}
-			cfg := baseConfig(o, wl, spec, threshold)
-			cfg.Seed = o.Seed + uint64(wi)
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", label, name, err)
-			}
-			sum += res.CMRPO
-		}
-		out = append(out, Fig10Point{Scheme: label, M: m, L: l, CMRPO: sum / float64(len(o.Workloads))})
-		return nil
-	}
-	for m := 32; m <= 512; m *= 2 {
-		if err := run(sim.SchemeSpec{Kind: mitigation.KindSCA, Counters: m}, "SCA", m, 0); err != nil {
-			return nil, err
-		}
-		minL := bits.TrailingZeros(uint(m)) + 1
-		for l := minL; l <= 14; l++ {
-			spec := sim.SchemeSpec{Kind: kind, Counters: m, MaxLevels: l}
-			if err := run(spec, fmt.Sprintf("%s_L%d", kind, l), m, l); err != nil {
 				return nil, err
 			}
+			cfg := baseConfig(o, wl, b.spec, threshold)
+			cfg.Seed = o.Seed + uint64(wi)
+			cells = append(cells, runner.Cell{Tag: b.label + "/" + name, Config: cfg})
 		}
-		if progress != nil && !o.Quiet {
-			fmt.Fprintf(progress, "  M=%d done\n", m)
+	}
+	// Progress groups by M: all bars sharing an M form one group.
+	var sizes []int
+	var groupM []int
+	for _, b := range bars {
+		if len(groupM) == 0 || groupM[len(groupM)-1] != b.m {
+			groupM = append(groupM, b.m)
+			sizes = append(sizes, 0)
 		}
+		sizes[len(sizes)-1] += len(o.Workloads)
+	}
+	var pg *progressGroups
+	if progress != nil && !o.Quiet {
+		pg = newProgressGroups(sizes, func(g int, _ []runner.CellResult) {
+			fmt.Fprintf(progress, "  M=%d done\n", groupM[g])
+		})
+	}
+	results, err := pg.attach(o.engine()).Grid(o.Context, cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig10Point, len(bars))
+	for bi, b := range bars {
+		sum := 0.0
+		for wi := range o.Workloads {
+			sum += results[bi*len(o.Workloads)+wi].Result.CMRPO
+		}
+		out[bi] = Fig10Point{Scheme: b.label, M: b.m, L: b.l, CMRPO: sum / float64(len(o.Workloads))}
 	}
 	return out, nil
 }

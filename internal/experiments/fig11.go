@@ -6,6 +6,7 @@ import (
 
 	"catsim/internal/dram"
 	"catsim/internal/mitigation"
+	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
 )
@@ -45,12 +46,20 @@ type Fig11Point struct {
 	ETO       float64
 }
 
-// RunFig11 measures CMRPO for the three systems at one threshold.
+// RunFig11 measures CMRPO for the three systems at one threshold. Each
+// system's scheme lineup shares its per-workload baselines through the
+// cache; the whole system × scheme × workload grid runs on the worker
+// pool.
 func RunFig11(o Options, threshold uint32, progress io.Writer) ([]Fig11Point, error) {
 	if err := o.fill(); err != nil {
 		return nil, err
 	}
-	var out []Fig11Point
+	type bar struct {
+		system string
+		label  string
+	}
+	var bars []bar
+	var cells []runner.Cell
 	for _, sys := range Fig11Systems() {
 		schemes := []sim.SchemeSpec{
 			{Kind: mitigation.KindPRA},
@@ -60,7 +69,7 @@ func RunFig11(o Options, threshold uint32, progress io.Writer) ([]Fig11Point, er
 		}
 		for _, spec := range schemes {
 			label := spec.Label(threshold)
-			sumC, sumE := 0.0, 0.0
+			bars = append(bars, bar{system: sys.Name, label: label})
 			for wi, name := range o.Workloads {
 				wl, err := trace.Lookup(name)
 				if err != nil {
@@ -71,21 +80,38 @@ func RunFig11(o Options, threshold uint32, progress io.Writer) ([]Fig11Point, er
 				cfg.Cores = sys.Cores
 				cfg.ChannelInterleaved = sys.ChannelInterleaved
 				cfg.Seed = o.Seed + uint64(wi)
-				pair, err := sim.RunPair(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/%s: %w", sys.Name, label, name, err)
-				}
-				sumC += pair.Scheme.CMRPO
-				sumE += pair.ETO
+				cells = append(cells, runner.Cell{
+					Tag: sys.Name + "/" + label + "/" + name, Config: cfg, Pair: true,
+				})
 			}
-			n := float64(len(o.Workloads))
-			out = append(out, Fig11Point{
-				System: sys.Name, Scheme: label, Threshold: threshold,
-				CMRPO: sumC / n, ETO: sumE / n,
-			})
 		}
-		if progress != nil && !o.Quiet {
-			fmt.Fprintf(progress, "  %s done\n", sys.Name)
+	}
+	// Progress groups by system: each system's whole scheme lineup.
+	systems := Fig11Systems()
+	var pg *progressGroups
+	if progress != nil && !o.Quiet {
+		perSystem := len(bars) / len(systems) * len(o.Workloads)
+		pg = newProgressGroups(uniform(len(systems), perSystem),
+			func(g int, _ []runner.CellResult) {
+				fmt.Fprintf(progress, "  %s done\n", systems[g].Name)
+			})
+	}
+	results, err := pg.attach(o.engine()).Grid(o.Context, cells)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(o.Workloads))
+	out := make([]Fig11Point, len(bars))
+	for bi, b := range bars {
+		sumC, sumE := 0.0, 0.0
+		for wi := range o.Workloads {
+			r := results[bi*len(o.Workloads)+wi]
+			sumC += r.Result.CMRPO
+			sumE += r.ETO
+		}
+		out[bi] = Fig11Point{
+			System: b.system, Scheme: b.label, Threshold: threshold,
+			CMRPO: sumC / n, ETO: sumE / n,
 		}
 	}
 	return out, nil
@@ -130,8 +156,14 @@ func Fig12(w io.Writer, o Options) ([]Fig12Point, error) {
 	}
 	catCounters := map[uint32]int{65536: 32, 32768: 64, 16384: 64, 8192: 128}
 	scaCounters := map[uint32]int{65536: 128, 32768: 128, 16384: 128, 8192: 256}
-	var out []Fig12Point
-	for _, threshold := range []uint32{65536, 32768, 16384, 8192} {
+	type bar struct {
+		threshold uint32
+		label     string
+	}
+	thresholds := []uint32{65536, 32768, 16384, 8192}
+	var bars []bar
+	var cells []runner.Cell
+	for _, threshold := range thresholds {
 		schemes := []sim.SchemeSpec{
 			{Kind: mitigation.KindPRA},
 			{Kind: mitigation.KindSCA, Counters: scaCounters[threshold]},
@@ -140,7 +172,7 @@ func Fig12(w io.Writer, o Options) ([]Fig12Point, error) {
 		}
 		for _, spec := range schemes {
 			label := spec.Label(threshold)
-			sumC, sumE := 0.0, 0.0
+			bars = append(bars, bar{threshold: threshold, label: label})
 			for wi, name := range o.Workloads {
 				wl, err := trace.Lookup(name)
 				if err != nil {
@@ -148,20 +180,37 @@ func Fig12(w io.Writer, o Options) ([]Fig12Point, error) {
 				}
 				cfg := baseConfig(o, wl, spec, threshold)
 				cfg.Seed = o.Seed + uint64(wi)
-				pair, err := sim.RunPair(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("T=%d/%s/%s: %w", threshold, label, name, err)
-				}
-				sumC += pair.Scheme.CMRPO
-				sumE += pair.ETO
+				cells = append(cells, runner.Cell{
+					Tag:    fmt.Sprintf("T=%d/%s/%s", threshold, label, name),
+					Config: cfg, Pair: true,
+				})
 			}
-			n := float64(len(o.Workloads))
-			out = append(out, Fig12Point{Threshold: threshold, Scheme: label,
-				CMRPO: sumC / n, ETO: sumE / n})
 		}
-		if !o.Quiet {
-			fmt.Fprintf(w, "  T=%dK done\n", threshold/1024)
+	}
+	// Progress groups by threshold: four schemes' cells each.
+	var pg *progressGroups
+	if !o.Quiet {
+		perThreshold := len(bars) / len(thresholds) * len(o.Workloads)
+		pg = newProgressGroups(uniform(len(thresholds), perThreshold),
+			func(g int, _ []runner.CellResult) {
+				fmt.Fprintf(w, "  T=%dK done\n", thresholds[g]/1024)
+			})
+	}
+	results, err := pg.attach(o.engine()).Grid(o.Context, cells)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(o.Workloads))
+	out := make([]Fig12Point, len(bars))
+	for bi, b := range bars {
+		sumC, sumE := 0.0, 0.0
+		for wi := range o.Workloads {
+			r := results[bi*len(o.Workloads)+wi]
+			sumC += r.Result.CMRPO
+			sumE += r.ETO
 		}
+		out[bi] = Fig12Point{Threshold: b.threshold, Scheme: b.label,
+			CMRPO: sumC / n, ETO: sumE / n}
 	}
 	tw := table(w)
 	fmt.Fprintln(tw, "Fig. 12: CMRPO for refresh thresholds 64K/32K/16K/8K (dual-core/2ch)")

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"catsim/internal/mitigation"
+	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
 )
@@ -40,8 +41,15 @@ func Fig13(w io.Writer, o Options) ([]Fig13Point, error) {
 		return nil, fmt.Errorf("experiments: no memory-intensive workloads")
 	}
 
-	var out []Fig13Point
-	for _, threshold := range []uint32{32768, 16384, 8192} {
+	type bar struct {
+		threshold uint32
+		mode      trace.AttackMode
+		label     string
+	}
+	thresholds := []uint32{32768, 16384, 8192}
+	var bars []bar
+	var cells []runner.Cell
+	for _, threshold := range thresholds {
 		catM, scaM := 64, 128
 		if threshold == 8192 {
 			catM, scaM = 128, 256
@@ -54,28 +62,44 @@ func Fig13(w io.Writer, o Options) ([]Fig13Point, error) {
 		for _, mode := range []trace.AttackMode{trace.Heavy, trace.Medium, trace.Light} {
 			for _, spec := range schemes {
 				label := spec.Label(threshold)
-				sumE, sumC, n := 0.0, 0.0, 0
+				bars = append(bars, bar{threshold: threshold, mode: mode, label: label})
 				for k := 0; k < kernels; k++ {
 					wl := benign[k%len(benign)]
 					cfg := baseConfig(o, wl, spec, threshold)
 					cfg.Attack = &sim.AttackConfig{Kernel: k, Mode: mode}
 					cfg.Seed = o.Seed + uint64(k)*7919
-					pair, err := sim.RunPair(cfg)
-					if err != nil {
-						return nil, fmt.Errorf("fig13 %s/%s: %w", label, mode, err)
-					}
-					sumE += pair.ETO
-					sumC += pair.Scheme.CMRPO
-					n++
+					cells = append(cells, runner.Cell{
+						Tag:    fmt.Sprintf("fig13 %s/%v/k%d", label, mode, k),
+						Config: cfg, Pair: true,
+					})
 				}
-				out = append(out, Fig13Point{
-					Threshold: threshold, Mode: mode, Scheme: label,
-					ETO: sumE / float64(n), CMRPO: sumC / float64(n),
-				})
 			}
 		}
-		if !o.Quiet {
-			fmt.Fprintf(w, "  T=%dK done\n", threshold/1024)
+	}
+	// Progress groups by threshold: every mode x scheme x kernel cell.
+	var pg *progressGroups
+	if !o.Quiet {
+		perThreshold := len(bars) / len(thresholds) * kernels
+		pg = newProgressGroups(uniform(len(thresholds), perThreshold),
+			func(g int, _ []runner.CellResult) {
+				fmt.Fprintf(w, "  T=%dK done\n", thresholds[g]/1024)
+			})
+	}
+	results, err := pg.attach(o.engine()).Grid(o.Context, cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig13Point, len(bars))
+	for bi, b := range bars {
+		sumE, sumC := 0.0, 0.0
+		for k := 0; k < kernels; k++ {
+			r := results[bi*kernels+k]
+			sumE += r.ETO
+			sumC += r.Result.CMRPO
+		}
+		out[bi] = Fig13Point{
+			Threshold: b.threshold, Mode: b.mode, Scheme: b.label,
+			ETO: sumE / float64(kernels), CMRPO: sumC / float64(kernels),
 		}
 	}
 	tw := table(w)

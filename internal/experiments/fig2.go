@@ -8,6 +8,7 @@ import (
 	"catsim/internal/dram"
 	"catsim/internal/energy"
 	"catsim/internal/mitigation"
+	"catsim/internal/runner"
 	"catsim/internal/trace"
 )
 
@@ -42,40 +43,58 @@ func Fig2(w io.Writer, o Options) ([]Fig2Point, error) {
 	th := scaledThreshold(threshold, o.Scale)
 	banks := geom.TotalBanks()
 
-	// Accumulators across workloads.
+	// Each workload's stream replay is independent: run them on the
+	// worker pool and reduce the per-workload measurements in order.
+	type wlMeasure struct {
+		accessesPerBank float64
+		refreshRows     []float64 // per M
+	}
+	measures, err := runner.Map(o.Context, o.Parallel, len(o.Workloads),
+		func(wi int) (wlMeasure, error) {
+			wl, err := trace.Lookup(o.Workloads[wi])
+			if err != nil {
+				return wlMeasure{}, err
+			}
+			schemes := make([]*mitigation.SCA, len(ms))
+			for i, m := range ms {
+				s, err := mitigation.NewSCA(banks, geom.RowsPerBank, m, th)
+				if err != nil {
+					return wlMeasure{}, err
+				}
+				schemes[i] = s
+			}
+			gen, err := trace.NewSynthetic(wl, geom.TotalBytes(), geom.LineBytes, o.Seed+uint64(wi))
+			if err != nil {
+				return wlMeasure{}, err
+			}
+			// One interval of accesses for a dual-core system at this
+			// workload's intensity.
+			n := int(2 * CPUCyclesPerInterval / float64(wl.GapMean) * o.Scale)
+			for i := 0; i < n; i++ {
+				c := policy.Decode(gen.Next().Addr)
+				flat := geom.Flat(c.Bank)
+				for _, s := range schemes {
+					s.OnActivate(flat, c.Row)
+				}
+			}
+			m := wlMeasure{
+				accessesPerBank: float64(n) / float64(banks),
+				refreshRows:     make([]float64, len(ms)),
+			}
+			for i, s := range schemes {
+				m.refreshRows[i] = float64(s.Counts().RowsRefreshed) / float64(banks)
+			}
+			return m, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	sumAccessesPerBank := 0.0
 	sumRefreshRows := make([]float64, len(ms))
-
-	for wi, name := range o.Workloads {
-		wl, err := trace.Lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		schemes := make([]*mitigation.SCA, len(ms))
-		for i, m := range ms {
-			s, err := mitigation.NewSCA(banks, geom.RowsPerBank, m, th)
-			if err != nil {
-				return nil, err
-			}
-			schemes[i] = s
-		}
-		gen, err := trace.NewSynthetic(wl, geom.TotalBytes(), geom.LineBytes, o.Seed+uint64(wi))
-		if err != nil {
-			return nil, err
-		}
-		// One interval of accesses for a dual-core system at this
-		// workload's intensity.
-		n := int(2 * CPUCyclesPerInterval / float64(wl.GapMean) * o.Scale)
-		for i := 0; i < n; i++ {
-			c := policy.Decode(gen.Next().Addr)
-			flat := geom.Flat(c.Bank)
-			for _, s := range schemes {
-				s.OnActivate(flat, c.Row)
-			}
-		}
-		sumAccessesPerBank += float64(n) / float64(banks)
-		for i, s := range schemes {
-			sumRefreshRows[i] += float64(s.Counts().RowsRefreshed) / float64(banks)
+	for _, m := range measures {
+		sumAccessesPerBank += m.accessesPerBank
+		for i, r := range m.refreshRows {
+			sumRefreshRows[i] += r
 		}
 	}
 
@@ -137,33 +156,40 @@ func Fig3(w io.Writer, o Options) ([]Fig3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig3Row
+	names := []string{"black", "face"}
+	out, err := runner.Map(o.Context, o.Parallel, len(names),
+		func(i int) (Fig3Row, error) {
+			name := names[i]
+			wl, err := trace.Lookup(name)
+			if err != nil {
+				return Fig3Row{}, err
+			}
+			gen, err := trace.NewSynthetic(wl, geom.TotalBytes(), geom.LineBytes, o.Seed)
+			if err != nil {
+				return Fig3Row{}, err
+			}
+			n := int(2 * CPUCyclesPerInterval / float64(wl.GapMean) * o.Scale)
+			hist := trace.RowHistogram(gen, geom, policy, n)
+			bestBank, best := 0, trace.SkewSummary{}
+			for b, rows := range hist {
+				s := trace.Summarise(rows)
+				if s.Total > best.Total {
+					bestBank, best = b, s
+				}
+			}
+			top := topK(hist[bestBank], 8)
+			return Fig3Row{Workload: name, Bank: bestBank, Summary: best, TopCounts: top}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	tw := table(w)
 	fmt.Fprintln(tw, "Fig. 3: row-access frequency in the hottest DRAM bank (one interval)")
 	fmt.Fprintln(tw, "workload\tbank\taccesses\trows touched\tmax/row\ttop-16 share\ttop-256 share")
-	for _, name := range []string{"black", "face"} {
-		wl, err := trace.Lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		gen, err := trace.NewSynthetic(wl, geom.TotalBytes(), geom.LineBytes, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		n := int(2 * CPUCyclesPerInterval / float64(wl.GapMean) * o.Scale)
-		hist := trace.RowHistogram(gen, geom, policy, n)
-		bestBank, best := 0, trace.SkewSummary{}
-		for b, rows := range hist {
-			s := trace.Summarise(rows)
-			if s.Total > best.Total {
-				bestBank, best = b, s
-			}
-		}
-		top := topK(hist[bestBank], 8)
-		out = append(out, Fig3Row{Workload: name, Bank: bestBank, Summary: best, TopCounts: top})
+	for _, r := range out {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%s\n",
-			name, bestBank, best.Total, best.TouchedRows, best.MaxPerRow,
-			pct(best.Top16Frac), pct(best.Top256Frac))
+			r.Workload, r.Bank, r.Summary.Total, r.Summary.TouchedRows, r.Summary.MaxPerRow,
+			pct(r.Summary.Top16Frac), pct(r.Summary.Top256Frac))
 	}
 	return out, tw.Flush()
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"catsim/internal/mitigation"
+	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
 )
@@ -41,15 +42,18 @@ func (d *Fig8Data) MeanETO(scheme string) float64 {
 	return Mean(d.Cells[scheme], func(c Cell) float64 { return c.ETO })
 }
 
-// RunFig8 measures the Figs. 8/9 matrix for one refresh threshold.
+// RunFig8 measures the Figs. 8/9 matrix for one refresh threshold. The
+// scheme × workload grid runs on the options' worker pool; the paired
+// KindNone baselines are shared through the cache, so the five schemes
+// cost one baseline run per workload, not five.
 func RunFig8(o Options, threshold uint32, progress io.Writer) (*Fig8Data, error) {
 	if err := o.fill(); err != nil {
 		return nil, err
 	}
-	data := &Fig8Data{Threshold: threshold, Cells: map[string][]Cell{}}
-	for _, spec := range fig8Schemes() {
+	specs := fig8Schemes()
+	var cells []runner.Cell
+	for _, spec := range specs {
 		label := spec.Label(threshold)
-		data.Schemes = append(data.Schemes, label)
 		for wi, name := range o.Workloads {
 			wl, err := trace.Lookup(name)
 			if err != nil {
@@ -57,21 +61,42 @@ func RunFig8(o Options, threshold uint32, progress io.Writer) (*Fig8Data, error)
 			}
 			cfg := baseConfig(o, wl, spec, threshold)
 			cfg.Seed = o.Seed + uint64(wi)
-			pair, err := sim.RunPair(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", label, name, err)
-			}
+			cells = append(cells, runner.Cell{Tag: label + "/" + name, Config: cfg, Pair: true})
+		}
+	}
+	var pg *progressGroups
+	if progress != nil && !o.Quiet {
+		pg = newProgressGroups(uniform(len(specs), len(o.Workloads)),
+			func(g int, done []runner.CellResult) {
+				mc, me := 0.0, 0.0
+				for _, r := range done {
+					mc += r.Result.CMRPO
+					me += r.ETO
+				}
+				n := float64(len(done))
+				fmt.Fprintf(progress, "  %s done (mean CMRPO %s, mean ETO %s)\n",
+					specs[g].Label(threshold), pct(mc/n), pct(me/n))
+			})
+	}
+	results, err := pg.attach(o.engine()).Grid(o.Context, cells)
+	if err != nil {
+		return nil, err
+	}
+	data := &Fig8Data{Threshold: threshold, Cells: map[string][]Cell{}}
+	i := 0
+	for _, spec := range specs {
+		label := spec.Label(threshold)
+		data.Schemes = append(data.Schemes, label)
+		for _, name := range o.Workloads {
+			r := results[i]
+			i++
 			data.Cells[label] = append(data.Cells[label], Cell{
 				Workload: name,
 				Scheme:   label,
-				CMRPO:    pair.Scheme.CMRPO,
-				ETO:      pair.ETO,
-				Counts:   pair.Scheme.Counts,
+				CMRPO:    r.Result.CMRPO,
+				ETO:      r.ETO,
+				Counts:   r.Result.Counts,
 			})
-		}
-		if progress != nil && !o.Quiet {
-			fmt.Fprintf(progress, "  %s done (mean CMRPO %s, mean ETO %s)\n",
-				label, pct(data.MeanCMRPO(label)), pct(data.MeanETO(label)))
 		}
 	}
 	return data, nil

@@ -52,6 +52,7 @@ func TestFig9RenderSharesRuns(t *testing.T) {
 }
 
 func TestFig10PRCATVariant(t *testing.T) {
+	skipIfShort(t)
 	o := micro()
 	points, err := RunFig10Policy(o, 32768, mitigation.KindPRCAT, nil)
 	if err != nil {

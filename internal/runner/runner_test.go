@@ -1,0 +1,244 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"catsim/internal/mitigation"
+	"catsim/internal/sim"
+	"catsim/internal/trace"
+)
+
+// testCells builds a small real grid: two schemes x two workloads, paired.
+func testCells(t *testing.T) []Cell {
+	t.Helper()
+	var cells []Cell
+	for _, spec := range []sim.SchemeSpec{
+		{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+		{Kind: mitigation.KindSCA, Counters: 64},
+	} {
+		for wi, name := range []string{"black", "comm1"} {
+			wl, err := trace.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells = append(cells, Cell{
+				Tag: spec.Label(512) + "/" + name,
+				Config: sim.Config{
+					Cores: 2, RequestsPerCore: 20_000, Workload: wl,
+					Scheme: spec, Threshold: 512, ThresholdScale: 0.03,
+					IntervalNS: 2e6, Seed: 7 + uint64(wi),
+				},
+				Pair: true,
+			})
+		}
+	}
+	return cells
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	out, err := Map(context.Background(), 8, 100, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapRunsConcurrently(t *testing.T) {
+	// With parallelism 4 and 4 tasks that all wait for each other, the
+	// map can only finish if the tasks genuinely overlap.
+	var started sync.WaitGroup
+	started.Add(4)
+	_, err := Map(context.Background(), 4, 4, func(i int) (int, error) {
+		started.Done()
+		started.Wait() // deadlocks unless all 4 run at once
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapSequentialIsStrictlyOrdered(t *testing.T) {
+	var order []int
+	_, err := Map(context.Background(), 1, 10, func(i int) (int, error) {
+		order = append(order, i) // safe: parallel=1 spawns no goroutines
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+}
+
+func TestMapAggregatesAllErrors(t *testing.T) {
+	wantErr := errors.New("boom")
+	_, err := Map(context.Background(), 4, 10, func(i int) (int, error) {
+		if i%3 == 0 {
+			return 0, wantErr
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected joined error")
+	}
+	// 0, 3, 6, 9 fail: all four must be present.
+	if n := strings.Count(err.Error(), "boom"); n != 4 {
+		t.Fatalf("joined error has %d failures, want 4: %v", n, err)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	_, err := Map(ctx, 2, 1000, func(i int) (int, error) {
+		if ran.Add(1) == 4 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d tasks ran despite cancellation", n)
+	}
+}
+
+func TestGridDeterministicAcrossParallelism(t *testing.T) {
+	cells := testCells(t)
+	var got [][]CellResult
+	for _, parallel := range []int{1, 8} {
+		e := &Engine{Parallel: parallel, Cache: NewCache()}
+		res, err := e.Grid(context.Background(), cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, res)
+	}
+	if !reflect.DeepEqual(got[0], got[1]) {
+		t.Error("results differ between parallelism 1 and 8")
+	}
+	// And against the uncached sequential reference.
+	e := &Engine{Parallel: 1}
+	ref, err := e.Grid(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got[0]) {
+		t.Error("cached results differ from the uncached reference")
+	}
+}
+
+func TestGridErrorsCarryTags(t *testing.T) {
+	cells := testCells(t)
+	cells[1].Config.Cores = 0 // invalid
+	cells[3].Config.Threshold = 0
+	e := &Engine{Parallel: 4}
+	_, err := e.Grid(context.Background(), cells)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, tag := range []string{cells[1].Tag, cells[3].Tag} {
+		if !strings.Contains(err.Error(), tag) {
+			t.Errorf("error %q missing tag %q", err, tag)
+		}
+	}
+}
+
+func TestCacheSharesBaselines(t *testing.T) {
+	cells := testCells(t)
+	cache := NewCache()
+	e := &Engine{Parallel: 8, Cache: cache}
+	if _, err := e.Grid(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+	// 4 paired cells over 2 workloads: 4 scheme runs + 2 distinct
+	// baselines (the two workloads differ only by seed/spec).
+	runs := cache.Runs()
+	var baselines int
+	for _, k := range runs {
+		if strings.HasPrefix(k, "None|") {
+			baselines++
+		}
+	}
+	if baselines != 2 {
+		t.Errorf("baseline executions = %d, want 2 (keys: %v)", baselines, runs)
+	}
+	if len(runs) != 6 {
+		t.Errorf("total executions = %d, want 6", len(runs))
+	}
+	if cache.Hits() != 2 {
+		t.Errorf("hits = %d, want 2 (each baseline reused once)", cache.Hits())
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	wl, err := trace.Lookup("black")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Cores: 1, RequestsPerCore: 5_000, Workload: wl,
+		Scheme: sim.SchemeSpec{Kind: mitigation.KindNone}, Threshold: 512,
+		ThresholdScale: 0.03, IntervalNS: 2e6, Seed: 3,
+	}
+	cache := NewCache()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cache.Run(cfg); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(cache.Runs()); n != 1 {
+		t.Errorf("executions = %d, want 1", n)
+	}
+	if h := cache.Hits(); h != 15 {
+		t.Errorf("hits = %d, want 15", h)
+	}
+}
+
+func TestCacheResultsAreIsolated(t *testing.T) {
+	wl, err := trace.Lookup("black")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Cores: 1, RequestsPerCore: 5_000, Workload: wl,
+		Scheme: sim.SchemeSpec{Kind: mitigation.KindNone}, Threshold: 512,
+		ThresholdScale: 0.03, IntervalNS: 2e6, Seed: 3,
+	}
+	cache := NewCache()
+	a, err := cache.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PerBankActs[0] = -1
+	b, err := cache.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PerBankActs[0] == -1 {
+		t.Error("mutating one caller's PerBankActs leaked into the cache")
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CacheKey returns a canonical string covering every Config field that
+// Run reads, so two configs with equal keys produce identical Results
+// (Run is deterministic). Defaults are normalised first (fill), so a
+// zero Window and an explicit cpu.DefaultWindow hash alike. The key
+// starts with the scheme label ("None|...", "DRCAT_64|..."), which lets
+// the runner cache report executions per scheme.
+//
+// Any new Config field that influences Run must be added here; the
+// sim-package key test guards the known fields.
+func CacheKey(cfg Config) string {
+	cfg.fill()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|geom=%v|timing=%v|chint=%t|cores=%d|win=%d|cpb=%d|req=%d",
+		cfg.Scheme.Label(cfg.Threshold), cfg.Geometry, cfg.Timing,
+		cfg.ChannelInterleaved, cfg.Cores, cfg.Window, cfg.CPUPerBus,
+		cfg.RequestsPerCore)
+	fmt.Fprintf(&b, "|wl=%v", cfg.Workload)
+	if cfg.WorkloadPerCore != nil {
+		fmt.Fprintf(&b, "|wlpc=%v", cfg.WorkloadPerCore)
+	}
+	if cfg.Attack != nil {
+		fmt.Fprintf(&b, "|attack=%v", *cfg.Attack)
+	}
+	// The label does not encode every SchemeSpec field (e.g. Ways), so
+	// spell the spec out in full.
+	fmt.Fprintf(&b, "|scheme=%v|T=%d|interval=%g|tscale=%g|seed=%d|oracle=%t",
+		cfg.Scheme, cfg.Threshold, cfg.IntervalNS, cfg.ThresholdScale,
+		cfg.Seed, cfg.CheckProtection)
+	if cfg.Scrambler != nil {
+		fmt.Fprintf(&b, "|scrambler=%s|ignore=%t", cfg.Scrambler.Name(), cfg.IgnoreScrambler)
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"catsim/internal/cpu"
+	"catsim/internal/mitigation"
+	"catsim/internal/trace"
+)
+
+func keyConfig(t *testing.T) Config {
+	t.Helper()
+	wl, err := trace.Lookup("black")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Cores: 2, RequestsPerCore: 10_000, Workload: wl,
+		Scheme:    SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+		Threshold: 1024, ThresholdScale: 0.03, IntervalNS: 2e6, Seed: 5,
+	}
+}
+
+func TestCacheKeyNormalisesDefaults(t *testing.T) {
+	a := keyConfig(t)
+	b := keyConfig(t)
+	b.Window = cpu.DefaultWindow
+	b.CPUPerBus = cpu.DefaultCPUCyclesPerBusCycle
+	if CacheKey(a) != CacheKey(b) {
+		t.Error("explicit defaults must hash like zero values")
+	}
+}
+
+func TestCacheKeySeparatesRuns(t *testing.T) {
+	base := keyConfig(t)
+	mutate := []func(*Config){
+		func(c *Config) { c.Seed++ },
+		func(c *Config) { c.Threshold *= 2 },
+		func(c *Config) { c.RequestsPerCore++ },
+		func(c *Config) { c.Cores = 4 },
+		func(c *Config) { c.Scheme.Counters = 128 },
+		func(c *Config) { c.Scheme.Kind = mitigation.KindPRCAT },
+		func(c *Config) { c.Scheme = SchemeSpec{Kind: mitigation.KindNone} },
+		func(c *Config) { c.ChannelInterleaved = true },
+		func(c *Config) { c.IntervalNS = 4e6 },
+		func(c *Config) { c.ThresholdScale = 0.5 },
+		func(c *Config) { c.CheckProtection = true },
+		func(c *Config) { c.Attack = &AttackConfig{Kernel: 3, Mode: trace.Heavy} },
+		func(c *Config) {
+			wl, _ := trace.Lookup("comm1")
+			c.Workload = wl
+		},
+	}
+	seen := map[string]int{CacheKey(base): -1}
+	for i, m := range mutate {
+		c := base
+		m(&c)
+		k := CacheKey(c)
+		if j, dup := seen[k]; dup {
+			t.Errorf("mutation %d collides with %d: %s", i, j, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestCacheKeyLabelsScheme(t *testing.T) {
+	cfg := keyConfig(t)
+	if k := CacheKey(cfg); !strings.HasPrefix(k, "DRCAT_64|") {
+		t.Errorf("key %q should start with the scheme label", k)
+	}
+	cfg.Scheme = SchemeSpec{Kind: mitigation.KindNone}
+	if k := CacheKey(cfg); !strings.HasPrefix(k, "None|") {
+		t.Errorf("baseline key %q should start with None|", k)
+	}
+}
+
+// TestCacheKeyCoversConfig pins the Config field set. If this fails you
+// added a Config field: teach CacheKey about it (or deliberately exclude
+// it) and update the count here.
+func TestCacheKeyCoversConfig(t *testing.T) {
+	if n := reflect.TypeOf(Config{}).NumField(); n != 18 {
+		t.Errorf("Config has %d fields, CacheKey was written against 18", n)
+	}
+}
