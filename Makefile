@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench repro
+.PHONY: all build fmt vet lint test race bench bench-sketch repro
 
 all: build fmt vet test
 
@@ -19,6 +19,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet; the pinned version matches CI's install so
+# local and CI lint results stay identical.
+lint:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck not installed; run: go install honnef.co/go/tools/cmd/staticcheck@2025.1"; \
+		exit 1; \
+	}
+	staticcheck ./...
+
 test:
 	$(GO) test ./...
 
@@ -30,6 +39,11 @@ race:
 # Benchmark smoke: every benchmark once, no measurement repetition.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Sketch-substrate benchmark trajectory: CI uploads BENCH_sketch.json so
+# future PRs can compare the approximate-counting hot path.
+bench-sketch:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -json ./internal/sketch > BENCH_sketch.json
 
 # Full reproduction of the paper's tables and figures at default scale,
 # all cores, shared result cache.

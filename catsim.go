@@ -6,6 +6,14 @@
 // system, synthetic MSC-like workloads, energy and reliability models)
 // needed to regenerate every table and figure of the paper's evaluation.
 //
+// Beyond the paper, the repository carries the modern tracker generation
+// on the internal/sketch approximate-counting substrate — NewCoMeT
+// (count-min-sketch row tracking), NewABACuS (all-bank shared counters)
+// and NewStochastic (DSAC-style stochastic counting) — plus a protection
+// harness: adversarial attack patterns (double-sided, many-sided,
+// bank-sweep) and an oracle-checked missed-victim rate, swept across
+// schemes and thresholds by experiments.FigX.
+//
 // This package is a thin facade over the internal packages for downstream
 // users; see README.md for the architecture and cmd/experiments for the
 // reproduction harness.
@@ -24,6 +32,7 @@ import (
 	"catsim/internal/dram"
 	"catsim/internal/experiments"
 	"catsim/internal/mitigation"
+	"catsim/internal/rng"
 	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
@@ -63,6 +72,31 @@ func NewSCA(banks, rowsPerBank, m int, threshold uint32) (Scheme, error) {
 // NewCAT builds a PRCAT/DRCAT scheme with one tree per bank.
 func NewCAT(banks int, cfg TreeConfig) (Scheme, error) {
 	return mitigation.NewCAT(banks, cfg)
+}
+
+// NewCoMeT builds the count-min-sketch tracker (Bostancı et al., HPCA
+// 2024): counters sketch counters per bank spread over depth hash rows,
+// fronted by an exact recent-aggressor table. Deterministically sound —
+// the sketch never undercounts — with approximation showing up as extra
+// refreshes, never missed victims.
+func NewCoMeT(banks, rowsPerBank int, threshold uint32, counters, depth int, seed uint64) (Scheme, error) {
+	return mitigation.NewCoMeT(banks, rowsPerBank, threshold, counters, depth, seed)
+}
+
+// NewABACuS builds the all-bank shared-counter tracker (Olgun et al.,
+// USENIX Security 2024): entries Misra-Gries counters keyed by row ID and
+// shared across every bank, refreshing a hot row's victims in all banks
+// at once (the scheme implements the mitigation.CrossBank interface).
+func NewABACuS(banks, rowsPerBank, entries int, threshold uint32) (Scheme, error) {
+	return mitigation.NewABACuS(banks, rowsPerBank, entries, threshold)
+}
+
+// NewStochastic builds a DSAC-style stochastic-approximate tracker (Hong
+// et al., 2023): m exact counters per bank with probabilistic
+// replace-minimum insertion. Cheap but probabilistic — its protection gap
+// under adversarial patterns is what experiments.FigX quantifies.
+func NewStochastic(banks, rowsPerBank, m int, threshold uint32, src rng.Source) (Scheme, error) {
+	return mitigation.NewStochastic(banks, rowsPerBank, m, threshold, src)
 }
 
 // Geometry describes a DRAM system; Default2Channel is the paper's
@@ -134,6 +168,9 @@ func ReproduceAll(w io.Writer, o ExperimentOptions) error {
 		return err
 	}
 	if _, err := experiments.Fig13(w, o); err != nil {
+		return err
+	}
+	if _, err := experiments.FigX(w, o); err != nil {
 		return err
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 
 	"catsim/internal/experiments"
 	"catsim/internal/mitigation"
+	"catsim/internal/rng"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
 )
@@ -56,6 +57,30 @@ func TestFacadeSchemes(t *testing.T) {
 	}
 	if cat.Kind() != mitigation.KindPRCAT {
 		t.Errorf("kind = %v", cat.Kind())
+	}
+}
+
+func TestFacadeModernTrackers(t *testing.T) {
+	comet, err := NewCoMeT(2, 1<<10, 64, 256, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comet.Kind() != mitigation.KindCoMeT || comet.Name() != "CoMeT_256" {
+		t.Errorf("CoMeT facade: %s %v", comet.Name(), comet.Kind())
+	}
+	abacus, err := NewABACuS(2, 1<<10, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := abacus.(mitigation.CrossBank); !ok {
+		t.Error("ABACuS must expose cross-bank refreshes")
+	}
+	dsac, err := NewStochastic(2, 1<<10, 32, 64, rng.NewXoshiro256(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsac.Kind() != mitigation.KindStochastic {
+		t.Errorf("DSAC kind = %v", dsac.Kind())
 	}
 }
 

@@ -5,9 +5,11 @@
 //	experiments [-scale 0.25] [-seed 1] [-parallel 0] [-workloads a,b,c] [targets...]
 //
 // Targets: table1 table2 fig1 lfsr fig2 fig3 fig8 fig9 fig10 fig11 fig12
-// fig13 all (default: all). Scale 1 reproduces full 64 ms intervals;
-// smaller scales shrink interval, threshold and traffic together (rates
-// stay representative, see internal/experiments).
+// fig13 figx all (default: all; figx is the beyond-the-paper
+// overhead-vs-protection study of the modern trackers under adversarial
+// patterns). Scale 1 reproduces full 64 ms intervals; smaller scales
+// shrink interval, threshold and traffic together (rates stay
+// representative, see internal/experiments).
 //
 // Simulation cells run on a deterministic worker pool: -parallel caps the
 // concurrency (0 = GOMAXPROCS, 1 = sequential) and the emitted tables are
@@ -59,7 +61,7 @@ func main() {
 	targets := flag.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"table1", "table2", "fig1", "lfsr", "fig2", "fig3",
-			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablations", "headlines"}
+			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "figx", "ablations", "headlines"}
 	}
 
 	w := os.Stdout
@@ -92,6 +94,8 @@ func main() {
 			_, err = experiments.Fig12(w, o)
 		case "fig13":
 			_, err = experiments.Fig13(w, o)
+		case "figx":
+			_, err = experiments.FigX(w, o)
 		case "headlines":
 			_, err = experiments.Headlines(w, o)
 		case "ablations":

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"catsim/internal/mitigation"
+	"catsim/internal/sim"
+)
+
+// Example runs the scheme comparison end to end at a tiny scale (one
+// workload, two schemes, 2% of a refresh interval) so CI exercises this
+// example package. The numeric cells depend on the timing model, so the
+// asserted output is the deterministic shape of the table: which schemes
+// ran, over which workload.
+func Example() {
+	var b strings.Builder
+	err := run(&b, []string{"black"}, []sim.SchemeSpec{
+		{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+		{Kind: mitigation.KindCoMeT, Counters: 2048, Ways: 4},
+		{Kind: mitigation.KindABACuS, Counters: 1024},
+	}, 0.02)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 2 && f[0] == "black" {
+			fmt.Println(f[0], f[1])
+		}
+	}
+	// Output:
+	// black DRCAT_64
+	// black CoMeT_2048
+	// black ABACuS_1024
+}

@@ -96,10 +96,15 @@ func loglogInterp(anchors [5]float64, m float64) float64 {
 // per bank. Values at m ∈ {32, 64, 128, 256, 512} are the published
 // anchors; others are log-log interpolated/extrapolated. The counter-cache
 // baseline reuses the SCA SRAM curves for its on-chip array (same storage
-// structure) as the paper does when comparing iso-storage.
+// structure) as the paper does when comparing iso-storage; the modern
+// trackers (CoMeT's sketch + RAT, ABACuS's shared entries, DSAC's counter
+// table) are flat SRAM counter arrays too and are costed on the same
+// curves at their respective per-bank counter counts.
 func TableII(kind mitigation.Kind, m int) (SchemeHW, error) {
 	k := kind
-	if k == mitigation.KindCounterCache {
+	switch k {
+	case mitigation.KindCounterCache, mitigation.KindCoMeT,
+		mitigation.KindABACuS, mitigation.KindStochastic:
 		k = mitigation.KindSCA
 	}
 	anchors, ok := tableII[k]
@@ -145,6 +150,9 @@ func Compute(kind mitigation.Kind, countersPerBank int, counts mitigation.Counts
 	if banks < 1 || execNS <= 0 {
 		return Breakdown{}, fmt.Errorf("energy: invalid banks=%d execNS=%v", banks, execNS)
 	}
+	if !kind.Valid() {
+		return Breakdown{}, fmt.Errorf("energy: unknown scheme kind %v", kind)
+	}
 	var b Breakdown
 	perBank := func(nj float64) float64 { // nJ over the run -> mW per bank
 		return nj / float64(banks) / execNS // nJ/ns = W; so *1e3 for mW
@@ -163,6 +171,11 @@ func Compute(kind mitigation.Kind, countersPerBank int, counts mitigation.Counts
 		b.StaticMW = hw.StaticNJPerInterval * StaticPowerFraction / dram.RefreshIntervalNS() * 1e3
 		if kind == mitigation.KindCounterCache {
 			b.MissMW = perBank(DRAMAccessNJ*float64(counts.ExtraMemAcc)) * 1e3
+		}
+		if kind == mitigation.KindStochastic {
+			// DSAC draws hardware randomness per replacement decision;
+			// price the bits like PRA's PRNG.
+			b.PRNGMW = perBank(PRNGEfficiencyNJPerBit*float64(counts.PRNGBits)) * 1e3
 		}
 	}
 	b.RefreshMW = perBank(dram.RowRefreshNJ*float64(counts.RowsRefreshed)) * 1e3

@@ -206,3 +206,55 @@ func TestCounterCacheLinesIntersectEquivalentSCA(t *testing.T) {
 		t.Errorf("counter-cache static %v, want SCA_4096's %v", got, sca4096.StaticNJPerInterval)
 	}
 }
+
+func TestComputeCoversEveryRegisteredKind(t *testing.T) {
+	// The fail-loudly contract: every kind in the mitigation registry must
+	// be costable, so adding a scheme family without an energy model is a
+	// test failure here rather than a silent miscosting in an experiment.
+	counts := mitigation.Counts{Activations: 1e6, RowsRefreshed: 100, PRNGBits: 9e6, ExtraMemAcc: 10}
+	for _, k := range mitigation.Kinds() {
+		if _, err := Compute(k, 64, counts, 16, 64e6); err != nil {
+			t.Errorf("Compute(%v) = %v; every registered kind needs a cost model", k, err)
+		}
+	}
+}
+
+func TestComputeRejectsUnknownKind(t *testing.T) {
+	if _, err := Compute(mitigation.Kind(97), 64, mitigation.Counts{}, 16, 64e6); err == nil {
+		t.Error("unknown kind must fail loudly, not cost silently")
+	}
+	if _, err := TableII(mitigation.Kind(97), 64); err == nil {
+		t.Error("TableII must reject unknown kinds")
+	}
+}
+
+func TestComputeStochasticChargesPRNGAndSRAM(t *testing.T) {
+	counts := mitigation.Counts{Activations: 1e6, RowsRefreshed: 100, PRNGBits: 16e5}
+	b, err := Compute(mitigation.KindStochastic, 64, counts, 16, 64e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PRNGMW <= 0 {
+		t.Error("DSAC draws randomness; PRNG energy must be charged")
+	}
+	if b.DynamicMW <= 0 || b.StaticMW <= 0 {
+		t.Errorf("DSAC counter SRAM not costed: %+v", b)
+	}
+	wantPRNG := PRNGEfficiencyNJPerBit * 16e5 / 16 / 64e6 * 1e3
+	if math.Abs(b.PRNGMW-wantPRNG) > 1e-15 {
+		t.Errorf("PRNGMW = %v, want %v", b.PRNGMW, wantPRNG)
+	}
+}
+
+func TestModernTrackersCostOnSCACurves(t *testing.T) {
+	sca, _ := TableII(mitigation.KindSCA, 128)
+	for _, k := range []mitigation.Kind{mitigation.KindCoMeT, mitigation.KindABACuS, mitigation.KindStochastic} {
+		hw, err := TableII(k, 128)
+		if err != nil {
+			t.Fatalf("TableII(%v): %v", k, err)
+		}
+		if hw != sca {
+			t.Errorf("%v hardware model diverges from the SCA SRAM curves: %+v vs %+v", k, hw, sca)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"catsim/internal/mitigation"
+	"catsim/internal/runner"
+	"catsim/internal/sim"
+	"catsim/internal/trace"
+)
+
+// FigX is the beyond-the-paper protection study the 2018 evaluation could
+// not run: the adaptive tree (DRCAT) against its 2018 contemporaries
+// (SCA, counter cache) and the modern tracker generation (CoMeT, ABACuS,
+// DSAC) under adversarial attack patterns (double-sided, many-sided,
+// bank-sweep — plus the paper's Gaussian kernels as the reference),
+// sweeping scheme × refresh threshold × pattern on the shared runner grid.
+// Every run attaches the crosstalk oracle, so the rendered table pairs
+// each scheme's overhead (CMRPO, ETO) with its measured protection
+// (missed-victim rate, violations): the deterministic trackers must show
+// zero misses at any overhead, while DSAC's misses quantify what its
+// cheapness costs under pressure.
+
+// FigXPoint is one row of the overhead-vs-protection table.
+type FigXPoint struct {
+	Threshold     uint32
+	Pattern       trace.Pattern
+	Scheme        string
+	CMRPO         float64
+	ETO           float64
+	MissedRate    float64
+	MissedVictims int64
+	Violations    int64
+	RowsRefreshed int64
+}
+
+// figXSchemes is the cross-generation lineup: 2018 baselines, the paper's
+// tree, and the modern trackers at comparable counter budgets.
+func figXSchemes() []sim.SchemeSpec {
+	return []sim.SchemeSpec{
+		{Kind: mitigation.KindSCA, Counters: 128},
+		{Kind: mitigation.KindCounterCache, Counters: 1024, Ways: 8},
+		{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+		{Kind: mitigation.KindCoMeT, Counters: 2048, Ways: 4},
+		{Kind: mitigation.KindABACuS, Counters: 1024},
+		{Kind: mitigation.KindStochastic, Counters: 64},
+	}
+}
+
+// FigXPatterns is the attack-pattern sweep.
+func FigXPatterns() []trace.Pattern {
+	return []trace.Pattern{
+		trace.PatternGaussian, trace.PatternDoubleSided,
+		trace.PatternManySided, trace.PatternBankSweep,
+	}
+}
+
+// FigXThresholds is the refresh-threshold sweep.
+func FigXThresholds() []uint32 { return []uint32{32768, 16384} }
+
+// FigX measures and renders the protection study. The benign carrier is
+// the first memory-intensive workload of the options' workload set; cells
+// run on the shared worker pool and cache like every other figure (the
+// no-mitigation baseline per threshold × pattern is shared by all six
+// schemes), and rendered bytes are identical at every parallelism.
+func FigX(w io.Writer, o Options) ([]FigXPoint, error) {
+	if w == nil {
+		w = io.Discard // data-only callers
+	}
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	benign, err := figXBenign(o)
+	if err != nil {
+		return nil, err
+	}
+	specs := figXSchemes()
+	thresholds := FigXThresholds()
+	patterns := FigXPatterns()
+
+	type group struct {
+		threshold uint32
+		pattern   trace.Pattern
+	}
+	var groups []group
+	var cells []runner.Cell
+	for _, threshold := range thresholds {
+		for _, pattern := range patterns {
+			groups = append(groups, group{threshold, pattern})
+			for _, spec := range specs {
+				cfg := baseConfig(o, benign, spec, threshold)
+				cfg.Attack = &sim.AttackConfig{Kernel: 0, Mode: trace.Heavy, Pattern: pattern}
+				cfg.CheckProtection = true
+				cells = append(cells, runner.Cell{
+					Tag:    fmt.Sprintf("figx %s/T=%d/%s", spec.Label(threshold), threshold, pattern),
+					Config: cfg, Pair: true,
+				})
+			}
+		}
+	}
+	var pg *progressGroups
+	if !o.Quiet {
+		pg = newProgressGroups(uniform(len(groups), len(specs)),
+			func(g int, done []runner.CellResult) {
+				missed := int64(0)
+				for _, r := range done {
+					missed += r.Result.MissedVictimRows
+				}
+				fmt.Fprintf(w, "  T=%dK %s done (%d missed victims across schemes)\n",
+					groups[g].threshold/1024, groups[g].pattern, missed)
+			})
+	}
+	results, err := pg.attach(o.engine()).Grid(o.Context, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]FigXPoint, len(cells))
+	for i, r := range results {
+		g := groups[i/len(specs)]
+		out[i] = FigXPoint{
+			Threshold:     g.threshold,
+			Pattern:       g.pattern,
+			Scheme:        specs[i%len(specs)].Label(g.threshold),
+			CMRPO:         r.Result.CMRPO,
+			ETO:           r.ETO,
+			MissedRate:    r.Result.MissedVictimRate,
+			MissedVictims: r.Result.MissedVictimRows,
+			Violations:    r.Result.OracleViolations,
+			RowsRefreshed: r.Result.Counts.RowsRefreshed,
+		}
+	}
+
+	tw := table(w)
+	fmt.Fprintf(tw, "Fig. X (beyond the paper): overhead vs protection under adversarial patterns (%s + Heavy attack blend)\n", benign.Name)
+	fmt.Fprintln(tw, "T\tpattern\tscheme\tCMRPO\tETO\tmissed-victim rate\tmissed\tviolations\trows refreshed")
+	for _, p := range out {
+		fmt.Fprintf(tw, "%dK\t%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\n",
+			p.Threshold/1024, p.Pattern, p.Scheme, pct(p.CMRPO), pct(p.ETO),
+			pct(p.MissedRate), p.MissedVictims, p.Violations, p.RowsRefreshed)
+	}
+	return out, tw.Flush()
+}
+
+// figXBenign picks the attack carrier: the first memory-intensive workload
+// of the configured set, falling back to the full memory-intensive list.
+func figXBenign(o Options) (trace.Spec, error) {
+	mi := trace.MemoryIntensive()
+	if len(mi) == 0 {
+		return trace.Spec{}, fmt.Errorf("experiments: no memory-intensive workload available for figx")
+	}
+	intensive := make(map[string]bool, len(mi))
+	for _, s := range mi {
+		intensive[s.Name] = true
+	}
+	for _, name := range o.Workloads {
+		wl, err := trace.Lookup(name)
+		if err != nil {
+			return trace.Spec{}, err
+		}
+		if intensive[wl.Name] {
+			return wl, nil
+		}
+	}
+	return mi[0], nil
+}

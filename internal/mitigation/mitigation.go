@@ -13,6 +13,18 @@
 //   - CAT adapters wrapping internal/core's PRCAT and DRCAT trees.
 //   - None: no mitigation (the ETO baseline).
 //
+// Beyond the paper's 2018 contemporaries, the package implements the
+// modern tracker lineage on the internal/sketch substrate:
+//
+//   - CoMeT (Bostancı et al., HPCA 2024): per-bank count-min-sketch row
+//     tracking with an exact recent-aggressor table.
+//   - ABACuS (Olgun et al., USENIX Security 2024): one Misra-Gries summary
+//     of activation counters shared across all banks, refreshing the
+//     victims of a hot row ID in every bank at once.
+//   - Stochastic (DSAC-style, Hong et al. 2023): per-bank stochastic
+//     approximate counters — cheap, but probabilistic rather than
+//     guaranteed, which sim's missed-victim metric quantifies.
+//
 // Schemes are driven per bank by the system simulator and report the counts
 // the energy model (internal/energy) converts into CMRPO.
 package mitigation
@@ -39,25 +51,52 @@ const (
 	KindPRCAT
 	KindDRCAT
 	KindCounterCache
+	KindCoMeT
+	KindABACuS
+	KindStochastic
+
+	kindEnd // sentinel: every valid Kind is below this
 )
 
-// String returns the family name.
-func (k Kind) String() string {
-	switch k {
-	case KindNone:
-		return "None"
-	case KindSCA:
-		return "SCA"
-	case KindPRA:
-		return "PRA"
-	case KindPRCAT:
-		return "PRCAT"
-	case KindDRCAT:
-		return "DRCAT"
-	case KindCounterCache:
-		return "CounterCache"
+// kindNames is the single registry of valid kinds. Every addition here
+// must be matched by an energy-model entry; the mitigation and energy
+// tests iterate Kinds() so an unregistered or uncosted kind fails loudly
+// instead of silently falling through.
+var kindNames = [kindEnd]string{
+	KindNone:         "None",
+	KindSCA:          "SCA",
+	KindPRA:          "PRA",
+	KindPRCAT:        "PRCAT",
+	KindDRCAT:        "DRCAT",
+	KindCounterCache: "CounterCache",
+	KindCoMeT:        "CoMeT",
+	KindABACuS:       "ABACuS",
+	KindStochastic:   "Stochastic",
+}
+
+// Valid reports whether k is a registered scheme family.
+func (k Kind) Valid() bool {
+	return k >= 0 && k < kindEnd && kindNames[k] != ""
+}
+
+// Kinds returns every registered scheme family in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, 0, int(kindEnd))
+	for k := Kind(0); k < kindEnd; k++ {
+		if k.Valid() {
+			out = append(out, k)
+		}
 	}
-	return fmt.Sprintf("Kind(%d)", int(k))
+	return out
+}
+
+// String returns the family name; unknown kinds render as "Kind(n)!?",
+// which deliberately stands out in labels and tables.
+func (k Kind) String() string {
+	if k.Valid() {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)!?", int(k))
 }
 
 // Counts aggregates the scheme activity the energy model consumes.
@@ -91,6 +130,23 @@ type Scheme interface {
 	Counts() Counts
 }
 
+// BankRefresh pairs a refresh range with the bank it applies to, for
+// schemes whose decisions span banks.
+type BankRefresh struct {
+	Bank  int
+	Range RefreshRange
+}
+
+// CrossBank is implemented by schemes (ABACuS) whose shared counters
+// trigger refreshes in banks other than the one being activated.
+// PendingCrossBank returns the refreshes for those other banks accumulated
+// by the last OnActivate; the activating bank's ranges are still returned
+// by OnActivate itself. The returned slice is only valid until the next
+// OnActivate, which clears it — consume it once per activation.
+type CrossBank interface {
+	PendingCrossBank() []BankRefresh
+}
+
 // None is the no-mitigation baseline used to measure ETO.
 type None struct {
 	counts Counts
@@ -119,6 +175,23 @@ func (n *None) OnIntervalBoundary() {}
 
 // Counts implements Scheme.
 func (n *None) Counts() Counts { return n.counts }
+
+// appendVictims appends single-row refresh ranges for the two rows
+// adjacent to row (clamped to the bank's rows) and accounts one refresh
+// event plus the refreshed rows — the exact-victim refresh shape shared by
+// the per-row trackers (CoMeT, ABACuS, DSAC).
+func appendVictims(scratch []RefreshRange, row, rows int, counts *Counts) []RefreshRange {
+	counts.RefreshEvents++
+	if row > 0 {
+		scratch = append(scratch, RefreshRange{Lo: row - 1, Hi: row - 1})
+		counts.RowsRefreshed++
+	}
+	if row < rows-1 {
+		scratch = append(scratch, RefreshRange{Lo: row + 1, Hi: row + 1})
+		counts.RowsRefreshed++
+	}
+	return scratch
+}
 
 func clampRange(lo, hi, rows int) RefreshRange {
 	if lo < 0 {

@@ -4,8 +4,9 @@ package mitigation
 // and failure-injection studies. It tracks, for every victim row, the
 // exposure accumulated from each adjacent aggressor since the victim's last
 // refresh; a deterministic scheme is sound when no exposure ever exceeds
-// the refresh threshold T. Probabilistic schemes (PRA) violate it with
-// small probability by design; the reliability model quantifies that.
+// the refresh threshold T. Probabilistic schemes (PRA, DSAC) violate it
+// with small probability by design; the missed-victim accounting below and
+// the reliability model quantify that.
 type Oracle struct {
 	rows      int
 	threshold uint32
@@ -13,14 +14,26 @@ type Oracle struct {
 	// exposure[bank][v][1] counts activations of v+1.
 	exposure   [][][2]uint32
 	violations int64
+	// Ever-flags for the missed-victim rate: a victim row is "exposed"
+	// once any adjacent aggressor activates, and "missed" once its
+	// exposure exceeds T without an intervening refresh. Refreshes do not
+	// clear these — they summarise the whole run.
+	exposed  [][]bool
+	missed   [][]bool
+	exposedN int64
+	missedN  int64
 }
 
 // NewOracle builds an oracle for the given geometry.
 func NewOracle(banks, rowsPerBank int, threshold uint32) *Oracle {
 	o := &Oracle{rows: rowsPerBank, threshold: threshold,
-		exposure: make([][][2]uint32, banks)}
+		exposure: make([][][2]uint32, banks),
+		exposed:  make([][]bool, banks),
+		missed:   make([][]bool, banks)}
 	for b := range o.exposure {
 		o.exposure[b] = make([][2]uint32, rowsPerBank)
+		o.exposed[b] = make([]bool, rowsPerBank)
+		o.missed[b] = make([]bool, rowsPerBank)
 	}
 	return o
 }
@@ -32,16 +45,38 @@ func (o *Oracle) Activate(bank, a int) bool {
 	bad := false
 	if v := a + 1; v < o.rows {
 		e[v][0]++
-		bad = bad || e[v][0] > o.threshold
+		o.noteExposed(bank, v)
+		if e[v][0] > o.threshold {
+			bad = true
+			o.noteMissed(bank, v)
+		}
 	}
 	if v := a - 1; v >= 0 {
 		e[v][1]++
-		bad = bad || e[v][1] > o.threshold
+		o.noteExposed(bank, v)
+		if e[v][1] > o.threshold {
+			bad = true
+			o.noteMissed(bank, v)
+		}
 	}
 	if bad {
 		o.violations++
 	}
 	return bad
+}
+
+func (o *Oracle) noteExposed(bank, v int) {
+	if !o.exposed[bank][v] {
+		o.exposed[bank][v] = true
+		o.exposedN++
+	}
+}
+
+func (o *Oracle) noteMissed(bank, v int) {
+	if !o.missed[bank][v] {
+		o.missed[bank][v] = true
+		o.missedN++
+	}
 }
 
 // Refresh resets the exposure of every victim in the range.
@@ -66,15 +101,40 @@ func (o *Oracle) RefreshAll() {
 // Violations returns the number of violations recorded so far.
 func (o *Oracle) Violations() int64 { return o.violations }
 
+// ExposedVictimRows returns how many distinct (bank, row) victims saw any
+// aggressor exposure over the run.
+func (o *Oracle) ExposedVictimRows() int64 { return o.exposedN }
+
+// MissedVictimRows returns how many distinct (bank, row) victims had their
+// exposure cross T without a refresh — the rows an attack flipped.
+func (o *Oracle) MissedVictimRows() int64 { return o.missedN }
+
+// MissedVictimRate returns MissedVictimRows over ExposedVictimRows, the
+// protection-harness headline metric (0 for sound schemes, and 0 when no
+// victim was ever exposed).
+func (o *Oracle) MissedVictimRate() float64 {
+	if o.exposedN == 0 {
+		return 0
+	}
+	return float64(o.missedN) / float64(o.exposedN)
+}
+
 // Drive runs a scheme against the oracle for a prepared stream of (bank,
-// row) activations, wiring refreshes back into the oracle. It returns the
-// violation count (zero for sound deterministic schemes).
+// row) activations, wiring refreshes (including cross-bank ones) back into
+// the oracle. It returns the violation count (zero for sound deterministic
+// schemes).
 func (o *Oracle) Drive(s Scheme, stream [][2]int, intervalEvery int) int64 {
+	cb, hasCB := s.(CrossBank)
 	for i, br := range stream {
 		ranges := s.OnActivate(br[0], br[1])
 		o.Activate(br[0], br[1])
 		for _, rr := range ranges {
 			o.Refresh(br[0], rr)
+		}
+		if hasCB {
+			for _, bf := range cb.PendingCrossBank() {
+				o.Refresh(bf.Bank, bf.Range)
+			}
 		}
 		if intervalEvery > 0 && (i+1)%intervalEvery == 0 {
 			s.OnIntervalBoundary()

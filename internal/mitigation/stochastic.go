@@ -1,0 +1,96 @@
+package mitigation
+
+import (
+	"fmt"
+
+	"catsim/internal/rng"
+	"catsim/internal/sketch"
+)
+
+// StochasticDrawBits is the random bits consumed per replacement decision
+// (a 16-bit compare against 1/(min+1), DSAC's in-DRAM RNG width).
+const StochasticDrawBits = 16
+
+// Stochastic models a DSAC-style in-DRAM tracker (Hong et al., 2023): a
+// small per-bank table of exact counters where a missing row replaces the
+// minimum entry only with probability 1/(min+1), inheriting min+1. Victim
+// rows are refreshed when a tracked counter reaches T.
+//
+// Unlike the deterministic trackers there is no protection guarantee: an
+// aggressor can stay untracked through an unlucky draw sequence, which is
+// why the protection harness (sim's oracle-backed missed-victim metric)
+// pairs this scheme with the adversarial patterns. Each draw is charged as
+// PRNG bits so the energy model prices the randomness like PRA's.
+type Stochastic struct {
+	name      string
+	banks     int
+	rows      int
+	threshold uint32
+	tables    []*sketch.Stochastic
+	counts    Counts
+	scratch   []RefreshRange
+}
+
+// NewStochastic builds the tracker with m counters per bank; src drives
+// every bank's replacement decisions.
+func NewStochastic(banks, rowsPerBank, m int, threshold uint32, src rng.Source) (*Stochastic, error) {
+	if banks < 1 || rowsPerBank < 1 {
+		return nil, fmt.Errorf("mitigation: need at least one bank and row")
+	}
+	if threshold < 1 {
+		return nil, fmt.Errorf("mitigation: threshold must be positive")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("mitigation: stochastic tracker needs a random source")
+	}
+	s := &Stochastic{
+		name:      fmt.Sprintf("DSAC_%d", m),
+		banks:     banks,
+		rows:      rowsPerBank,
+		threshold: threshold,
+		tables:    make([]*sketch.Stochastic, banks),
+		scratch:   make([]RefreshRange, 0, 2),
+	}
+	for b := 0; b < banks; b++ {
+		var err error
+		if s.tables[b], err = sketch.NewStochastic(m, src); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Name implements Scheme.
+func (s *Stochastic) Name() string { return s.name }
+
+// Kind implements Scheme.
+func (s *Stochastic) Kind() Kind { return KindStochastic }
+
+// CountersPerBank implements Scheme.
+func (s *Stochastic) CountersPerBank() int { return s.tables[0].Cap() }
+
+// OnActivate implements Scheme.
+func (s *Stochastic) OnActivate(bank, row int) []RefreshRange {
+	s.counts.Activations++
+	s.counts.SRAMAccesses += 2
+	tbl := s.tables[bank]
+	before := tbl.Draws()
+	idx, cnt := tbl.Observe(int64(row))
+	s.counts.PRNGBits += (tbl.Draws() - before) * StochasticDrawBits
+	if idx < 0 || cnt < s.threshold {
+		return nil
+	}
+	tbl.SetCount(idx, 0)
+	s.scratch = appendVictims(s.scratch[:0], row, s.rows, &s.counts)
+	return s.scratch
+}
+
+// OnIntervalBoundary implements Scheme.
+func (s *Stochastic) OnIntervalBoundary() {
+	for _, t := range s.tables {
+		t.Reset()
+	}
+}
+
+// Counts implements Scheme.
+func (s *Stochastic) Counts() Counts { return s.counts }

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"catsim/internal/mitigation"
+	"catsim/internal/trace"
+)
+
+// Tests for the modern tracker suite and the protection harness at the
+// full-system level.
+
+func modernSpecs() []SchemeSpec {
+	return []SchemeSpec{
+		{Kind: mitigation.KindCoMeT, Counters: 2048, Ways: 4},
+		{Kind: mitigation.KindABACuS, Counters: 1024},
+		{Kind: mitigation.KindStochastic, Counters: 64},
+	}
+}
+
+func TestModernSchemeLabels(t *testing.T) {
+	want := []string{"CoMeT_2048", "ABACuS_1024", "DSAC_64"}
+	for i, spec := range modernSpecs() {
+		if got := spec.Label(16384); got != want[i] {
+			t.Errorf("label = %q, want %q", got, want[i])
+		}
+	}
+}
+
+func TestModernSchemesRunEndToEnd(t *testing.T) {
+	for _, spec := range modernSpecs() {
+		cfg := smallCfg(spec)
+		cfg.CheckProtection = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Kind, err)
+		}
+		if res.Counts.Activations != 120_000 {
+			t.Errorf("%s: activations = %d", res.SchemeLabel, res.Counts.Activations)
+		}
+		if res.CMRPO <= 0 {
+			t.Errorf("%s: CMRPO = %v, want positive (counters cost energy)", res.SchemeLabel, res.CMRPO)
+		}
+		if res.ExposedVictimRows == 0 {
+			t.Errorf("%s: no victim exposure recorded despite CheckProtection", res.SchemeLabel)
+		}
+	}
+}
+
+// TestModernSchemesProtectUnderAdversarialPatterns is the system-level
+// half of the ISSUE-2 oracle acceptance: inside the full timing simulation
+// with attack traffic blended in, the deterministic modern trackers must
+// refresh every true victim before its exposure crosses the threshold,
+// for the double-sided and many-sided patterns.
+func TestModernSchemesProtectUnderAdversarialPatterns(t *testing.T) {
+	for _, pattern := range []trace.Pattern{trace.PatternDoubleSided, trace.PatternManySided} {
+		for _, spec := range modernSpecs()[:2] { // CoMeT, ABACuS (deterministic)
+			cfg := smallCfg(spec)
+			cfg.CheckProtection = true
+			cfg.Threshold = 512
+			cfg.Attack = &AttackConfig{Kernel: 1, Mode: trace.Heavy, Pattern: pattern}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.OracleViolations != 0 || res.MissedVictimRows != 0 {
+				t.Errorf("%s under %s: %d violations, %d missed victims",
+					res.SchemeLabel, pattern, res.OracleViolations, res.MissedVictimRows)
+			}
+			if res.MissedVictimRate != 0 {
+				t.Errorf("%s under %s: missed-victim rate %v, want 0",
+					res.SchemeLabel, pattern, res.MissedVictimRate)
+			}
+		}
+	}
+}
+
+func TestProbabilisticSchemesGetOracleToo(t *testing.T) {
+	// The harness judges PRA and DSAC as well: the oracle attaches and the
+	// missed-victim fields populate (possibly zero misses at benign rates,
+	// but exposure must be recorded).
+	for _, spec := range []SchemeSpec{
+		{Kind: mitigation.KindPRA},
+		{Kind: mitigation.KindStochastic, Counters: 64},
+	} {
+		cfg := smallCfg(spec)
+		cfg.CheckProtection = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExposedVictimRows == 0 {
+			t.Errorf("%s: oracle not attached (no exposure recorded)", res.SchemeLabel)
+		}
+		if res.MissedVictimRate < 0 || res.MissedVictimRate > 1 {
+			t.Errorf("%s: missed-victim rate %v out of [0,1]", res.SchemeLabel, res.MissedVictimRate)
+		}
+	}
+}
+
+func TestBuildRejectsMisconfiguredModernSchemes(t *testing.T) {
+	for _, spec := range []SchemeSpec{
+		{Kind: mitigation.KindCoMeT, Counters: 255, Ways: 4}, // not divisible
+		{Kind: mitigation.KindABACuS, Counters: 0},
+		{Kind: mitigation.KindStochastic, Counters: 0},
+	} {
+		if _, err := spec.Build(4, 1024, 1024, 1); err == nil {
+			t.Errorf("%+v: expected a build error", spec)
+		}
+	}
+}
+
+func TestCacheKeyCoversAttackPattern(t *testing.T) {
+	cfg := smallCfg(SchemeSpec{Kind: mitigation.KindSCA, Counters: 64})
+	cfg.Attack = &AttackConfig{Kernel: 1, Mode: trace.Heavy, Pattern: trace.PatternDoubleSided}
+	a := CacheKey(cfg)
+	cfg.Attack.Pattern = trace.PatternManySided
+	b := CacheKey(cfg)
+	if a == b {
+		t.Error("cache key ignores the attack pattern")
+	}
+	if !strings.Contains(a, "double") || !strings.Contains(b, "many") {
+		t.Errorf("keys do not spell the pattern: %q / %q", a, b)
+	}
+}

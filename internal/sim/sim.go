@@ -26,11 +26,14 @@ import (
 // SchemeSpec is a buildable description of a mitigation scheme, the unit
 // the experiment harness iterates over.
 type SchemeSpec struct {
-	Kind      mitigation.Kind
-	Counters  int     // per bank: SCA groups, CAT counters, cache entries
+	Kind mitigation.Kind
+	// Counters is the scheme's counter budget: per bank for SCA groups,
+	// CAT counters, cache entries, CoMeT sketch counters and DSAC table
+	// entries; total shared entries for ABACuS.
+	Counters  int
 	MaxLevels int     // CAT tree depth L
 	PRAProb   float64 // PRA only; 0 selects the paper's p for the threshold
-	Ways      int     // counter cache associativity (default 8)
+	Ways      int     // counter cache associativity (8) / CoMeT sketch depth (4)
 }
 
 // Label returns the figure label ("DRCAT_64", "PRA_0.002", ...).
@@ -50,8 +53,11 @@ func (s SchemeSpec) Label(threshold uint32) string {
 }
 
 func kindShort(k mitigation.Kind) string {
-	if k == mitigation.KindCounterCache {
+	switch k {
+	case mitigation.KindCounterCache:
 		return "CC"
+	case mitigation.KindStochastic:
+		return "DSAC"
 	}
 	return k.String()
 }
@@ -88,6 +94,18 @@ func (s SchemeSpec) Build(banks, rowsPerBank int, threshold uint32, seed uint64)
 			ways = 8
 		}
 		return mitigation.NewCounterCache(banks, rowsPerBank, threshold, s.Counters, ways)
+	case mitigation.KindCoMeT:
+		depth := s.Ways
+		if depth == 0 {
+			depth = 4
+		}
+		return mitigation.NewCoMeT(banks, rowsPerBank, threshold, s.Counters, depth,
+			seed^0xC0337C0337)
+	case mitigation.KindABACuS:
+		return mitigation.NewABACuS(banks, rowsPerBank, s.Counters, threshold)
+	case mitigation.KindStochastic:
+		return mitigation.NewStochastic(banks, rowsPerBank, s.Counters, threshold,
+			rng.NewXoshiro256(seed^0xD5AC0D5AC0))
 	}
 	return nil, fmt.Errorf("sim: unknown scheme kind %v", s.Kind)
 }
@@ -146,10 +164,13 @@ type Config struct {
 	IgnoreScrambler bool
 }
 
-// AttackConfig selects a kernel attack blend.
+// AttackConfig selects a kernel attack blend. Pattern defaults to the
+// paper's Gaussian kernels; the adversarial patterns (double-sided,
+// many-sided, bank-sweep) drive the protection harness.
 type AttackConfig struct {
-	Kernel int
-	Mode   trace.AttackMode
+	Kernel  int
+	Mode    trace.AttackMode
+	Pattern trace.Pattern
 }
 
 // Result is everything one run measures.
@@ -165,7 +186,15 @@ type Result struct {
 	VictimBusyFrac   float64
 	PerBankActs      []int64
 	OracleViolations int64
-	SchemeLabel      string
+	// Protection-harness metrics (CheckProtection only): distinct victim
+	// rows whose crosstalk exposure crossed the threshold unrefreshed,
+	// distinct victim rows with any exposure, and their ratio. Zero for
+	// sound deterministic schemes; the quantified failure probability for
+	// PRA/DSAC under adversarial patterns.
+	MissedVictimRows  int64
+	ExposedVictimRows int64
+	MissedVictimRate  float64
+	SchemeLabel       string
 }
 
 func (c *Config) fill() {
@@ -236,10 +265,14 @@ func Run(cfg Config) (Result, error) {
 		ctrl.SetVictimRowCycles(scaled)
 	}
 
+	// The oracle judges every scheme, probabilistic ones included: for
+	// PRA/DSAC the missed-victim accounting quantifies the protection gap
+	// that deterministic schemes must show to be zero.
 	var oracle *mitigation.Oracle
-	if cfg.CheckProtection && scheme.Kind() != mitigation.KindPRA && scheme.Kind() != mitigation.KindNone {
+	if cfg.CheckProtection && scheme.Kind() != mitigation.KindNone {
 		oracle = mitigation.NewOracle(banks, cfg.Geometry.RowsPerBank, cfg.Threshold)
 	}
+	crossBank, hasCrossBank := scheme.(mitigation.CrossBank)
 
 	type coreState struct {
 		core *cpu.Core
@@ -268,7 +301,8 @@ func Run(cfg Config) (Result, error) {
 		}
 		gen = syn
 		if cfg.Attack != nil {
-			gen, err = trace.NewAttack(cfg.Attack.Kernel, cfg.Attack.Mode, cfg.Geometry, policy, syn)
+			gen, err = trace.NewAttackPattern(cfg.Attack.Kernel, cfg.Attack.Mode,
+				cfg.Attack.Pattern, cfg.Geometry, policy, syn)
 			if err != nil {
 				return Result{}, err
 			}
@@ -340,6 +374,16 @@ func Run(cfg Config) (Result, error) {
 				oracle.Refresh(flat, rr)
 			}
 		}
+		if hasCrossBank {
+			// Shared-counter schemes (ABACuS) refresh the same victims in
+			// the other banks too.
+			for _, bf := range crossBank.PendingCrossBank() {
+				ctrl.VictimRefresh(issueBus, bf.Bank, bf.Range.Rows())
+				if oracle != nil {
+					oracle.Refresh(bf.Bank, bf.Range)
+				}
+			}
+		}
 		cs.left--
 		if cs.left == 0 {
 			remaining--
@@ -378,6 +422,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	if oracle != nil {
 		res.OracleViolations = oracle.Violations()
+		res.MissedVictimRows = oracle.MissedVictimRows()
+		res.ExposedVictimRows = oracle.ExposedVictimRows()
+		res.MissedVictimRate = oracle.MissedVictimRate()
 	}
 	return res, nil
 }

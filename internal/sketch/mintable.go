@@ -1,0 +1,84 @@
+package sketch
+
+import "fmt"
+
+// MinTable is a small exact (key, count) table with evict-minimum
+// replacement: insertion always succeeds, displacing the entry with the
+// smallest count (lowest index on ties, so behaviour is deterministic).
+// CoMeT uses one as its recent-aggressor table: rows whose sketch estimate
+// crosses the early threshold graduate here and are counted exactly; the
+// evicted row is handed back to the caller, which must neutralise it
+// (refresh its victims) to stay sound.
+type MinTable struct {
+	keys   []int64 // -1 = empty
+	counts []uint32
+}
+
+// NewMinTable builds an empty table with the given entry count.
+func NewMinTable(entries int) (*MinTable, error) {
+	if entries < 1 {
+		return nil, fmt.Errorf("sketch: min-table needs at least one entry")
+	}
+	t := &MinTable{keys: make([]int64, entries), counts: make([]uint32, entries)}
+	for i := range t.keys {
+		t.keys[i] = -1
+	}
+	return t, nil
+}
+
+// Cap returns the entry count.
+func (t *MinTable) Cap() int { return len(t.keys) }
+
+// Find returns the index tracking key, or -1.
+func (t *MinTable) Find(key int64) int {
+	for i, k := range t.keys {
+		if k == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// Insert tracks key with the given starting count, using a free slot or
+// evicting the minimum-count entry. It returns the displaced key and its
+// count; evicted is false when a free slot absorbed the insertion.
+func (t *MinTable) Insert(key int64, count uint32) (evictedKey int64, evictedCount uint32, evicted bool) {
+	slot := -1
+	for i, k := range t.keys {
+		if k == -1 {
+			slot = i
+			break
+		}
+		if slot == -1 || t.counts[i] < t.counts[slot] {
+			slot = i
+		}
+	}
+	evictedKey, evictedCount = t.keys[slot], t.counts[slot]
+	evicted = evictedKey != -1
+	t.keys[slot] = key
+	t.counts[slot] = count
+	return evictedKey, evictedCount, evicted
+}
+
+// Key returns the key at idx (-1 when empty).
+func (t *MinTable) Key(idx int) int64 { return t.keys[idx] }
+
+// Count returns the count at idx.
+func (t *MinTable) Count(idx int) uint32 { return t.counts[idx] }
+
+// Add increments the count at idx by delta and returns the new value.
+func (t *MinTable) Add(idx int, delta uint32) uint32 {
+	t.counts[idx] += delta
+	return t.counts[idx]
+}
+
+// SetCount overwrites the count at idx.
+func (t *MinTable) SetCount(idx int, v uint32) { t.counts[idx] = v }
+
+// Reset empties the table.
+func (t *MinTable) Reset() {
+	for i := range t.keys {
+		t.keys[i] = -1
+		t.counts[i] = 0
+	}
+}

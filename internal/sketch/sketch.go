@@ -1,0 +1,127 @@
+// Package sketch provides the approximate-counting substrate behind the
+// modern (post-2018) crosstalk/rowhammer trackers in internal/mitigation:
+//
+//   - CountMin: a count-min sketch with conservative update — the
+//     row-activation tracker of CoMeT (Bostancı et al., HPCA 2024).
+//     Estimates never undercount, which is what makes a sketch-backed
+//     mitigation scheme sound.
+//   - MisraGries: a Misra-Gries frequent-items summary with a spillover
+//     floor — the shared activation counters of ABACuS (Olgun et al.,
+//     USENIX Security 2024). Tracked counts never undercount and every
+//     untracked key is bounded by the spillover counter.
+//   - MinTable: a small exact table with evict-minimum replacement — the
+//     recent-aggressor table fronting CoMeT's sketch.
+//   - Stochastic: a stochastic-approximate counter table à la DSAC (Hong
+//     et al., 2023) — probabilistic replacement of the minimum entry,
+//     cheap but (by design) without a deterministic guarantee.
+//
+// All structures are deterministic given their seeds and are sized in
+// counters, so the energy model can cost them like the paper's SRAM
+// counter arrays. None are safe for concurrent use.
+package sketch
+
+import "fmt"
+
+// splitmix64 is the SplitMix64 finalizer, used as the sketch hash: it is
+// bijective, cheap, and — combined with a per-depth seed — gives the
+// pairwise-independent-enough index streams a count-min sketch needs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// CountMin is a count-min sketch over int64 keys: depth hash rows of width
+// counters each. Update uses the conservative-update (Estan-Varghese)
+// rule, which preserves the one-sided error bound — Estimate(k) is always
+// at least the number of Update(k) calls since the last Reset — while
+// inflating shared counters far less than plain increment.
+type CountMin struct {
+	width, depth int
+	counters     []uint32 // depth rows of width, row-major
+	seeds        []uint64
+	idx          []int // scratch: per-depth index of the last key hashed
+}
+
+// NewCountMin builds a sketch with the given geometry. Distinct seeds give
+// distinct (deterministic) hash functions.
+func NewCountMin(width, depth int, seed uint64) (*CountMin, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("sketch: count-min geometry %dx%d invalid", width, depth)
+	}
+	c := &CountMin{
+		width:    width,
+		depth:    depth,
+		counters: make([]uint32, width*depth),
+		seeds:    make([]uint64, depth),
+		idx:      make([]int, depth),
+	}
+	s := seed
+	for d := range c.seeds {
+		s = splitmix64(s)
+		c.seeds[d] = s
+	}
+	return c, nil
+}
+
+// Counters returns the total counter count (width × depth), the quantity
+// the energy model costs.
+func (c *CountMin) Counters() int { return c.width * c.depth }
+
+// hash fills c.idx with the per-depth counter indices for key.
+func (c *CountMin) hash(key int64) {
+	for d := 0; d < c.depth; d++ {
+		c.idx[d] = d*c.width + int(splitmix64(uint64(key)^c.seeds[d])%uint64(c.width))
+	}
+}
+
+// Estimate returns the current over-estimate of key's count: the minimum
+// of its depth counters.
+func (c *CountMin) Estimate(key int64) uint32 {
+	c.hash(key)
+	min := c.counters[c.idx[0]]
+	for _, i := range c.idx[1:] {
+		if v := c.counters[i]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Update counts one occurrence of key with the conservative-update rule
+// (only counters equal to the current minimum are incremented) and returns
+// the new estimate.
+func (c *CountMin) Update(key int64) uint32 {
+	c.hash(key)
+	min := c.counters[c.idx[0]]
+	for _, i := range c.idx[1:] {
+		if v := c.counters[i]; v < min {
+			min = v
+		}
+	}
+	for _, i := range c.idx {
+		if c.counters[i] == min {
+			c.counters[i] = min + 1
+		}
+	}
+	return min + 1
+}
+
+// Decay halves every counter shift times (counter >>= shift), the aging
+// used by frequency-estimation consumers. The crosstalk trackers do NOT
+// use it: decayed counters can undercount true activation counts, which
+// would void the never-undercount invariant CoMeT's soundness rests on —
+// they reset whole windows with Reset instead.
+func (c *CountMin) Decay(shift uint) {
+	for i := range c.counters {
+		c.counters[i] >>= shift
+	}
+}
+
+// Reset zeroes every counter (a new counting window).
+func (c *CountMin) Reset() {
+	for i := range c.counters {
+		c.counters[i] = 0
+	}
+}
