@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-sketch repro
+.PHONY: all build fmt vet lint test race bench bench-sketch repro golden golden-check
 
 all: build fmt vet test
 
@@ -49,3 +49,24 @@ bench-sketch:
 # all cores, shared result cache.
 repro:
 	$(GO) run ./cmd/experiments
+
+# The pinned options behind the golden files: every text byte of the CLI
+# output at this configuration is locked by golden-check (and the
+# per-generator goldens under internal/experiments/testdata/golden by
+# TestGoldenText).
+GOLDEN_FLAGS = -scale 0.05 -seed 1 -workloads black,comm1 -lfsr-trials 50 -q
+
+# Regenerate the golden files after an *intentional* output change;
+# eyeball the diff before committing.
+golden:
+	$(GO) test ./internal/experiments -run TestGoldenText -update
+	$(GO) run ./cmd/experiments $(GOLDEN_FLAGS) > cmd/experiments/testdata/golden-scale005.txt
+
+# CI's golden gate: text output must match the checked-in golden byte for
+# byte, and the JSON output must decode as []Report.
+golden-check:
+	$(GO) build -o /tmp/catsim-experiments ./cmd/experiments
+	/tmp/catsim-experiments $(GOLDEN_FLAGS) > /tmp/catsim-golden.txt
+	diff -u cmd/experiments/testdata/golden-scale005.txt /tmp/catsim-golden.txt
+	/tmp/catsim-experiments $(GOLDEN_FLAGS) -format json > /tmp/catsim-golden.json
+	/tmp/catsim-experiments -validate-json /tmp/catsim-golden.json

@@ -18,6 +18,14 @@
 // users; see README.md for the architecture and cmd/experiments for the
 // reproduction harness.
 //
+// Schemes are described by declarative, serializable specs — a kind, a
+// refresh threshold and named parameters — built through one registry:
+//
+//	spec, _ := catsim.ParseScheme("comet:threshold=32768,counters=512,depth=4")
+//	scheme, _ := catsim.Build(spec, catsim.Default2Channel())
+//
+// The adaptive tree itself is also directly constructible:
+//
 //	tree, _ := catsim.NewTree(catsim.TreeConfig{
 //	    Rows: 65536, Counters: 64, MaxLevels: 11,
 //	    RefreshThreshold: 32768, Policy: catsim.DRCAT,
@@ -63,13 +71,42 @@ func NewLadder(m, l int, t uint32) []uint32 { return core.NewLadder(m, l, t) }
 // Scheme is a crosstalk-mitigation mechanism covering all banks.
 type Scheme = mitigation.Scheme
 
-// NewSCA builds the Static Counter Assignment baseline (m uniform group
-// counters per bank).
-func NewSCA(banks, rowsPerBank, m int, threshold uint32) (Scheme, error) {
-	return mitigation.NewSCA(banks, rowsPerBank, m, threshold)
+// SchemeSpec is a declarative, serializable scheme description: a kind
+// ("comet"), a refresh threshold and named parameters. It round-trips
+// through a compact string form (ParseScheme / String) and JSON, and
+// implements flag.Value for CLI -scheme flags.
+type SchemeSpec = mitigation.SchemeSpec
+
+// SchemeParams holds a spec's named parameters as exact decimal strings.
+type SchemeParams = mitigation.Params
+
+// ParseScheme parses the compact spec form "kind:key=value,...", e.g.
+// "comet:threshold=32768,counters=512,depth=4,seed=7". Kinds and the
+// figure-label aliases ("cc", "dsac") match case-insensitively; parameter
+// names are validated against the kind's registered builder.
+func ParseScheme(s string) (SchemeSpec, error) { return mitigation.ParseSpec(s) }
+
+// Build constructs the scheme a spec describes for a DRAM geometry via
+// the mitigation builder registry. Every kind except "none" requires the
+// spec to carry a refresh threshold.
+func Build(spec SchemeSpec, geom Geometry) (Scheme, error) {
+	return mitigation.Build(spec, geom.TotalBanks(), geom.RowsPerBank)
 }
 
-// NewCAT builds a PRCAT/DRCAT scheme with one tree per bank.
+// NewSCA builds the Static Counter Assignment baseline (m uniform group
+// counters per bank). Thin wrapper over the spec registry.
+func NewSCA(banks, rowsPerBank, m int, threshold uint32) (Scheme, error) {
+	p := mitigation.Params{}
+	p.SetInt("counters", m)
+	return mitigation.Build(mitigation.SchemeSpec{
+		Kind: mitigation.KindSCA, Threshold: threshold, Params: p,
+	}, banks, rowsPerBank)
+}
+
+// NewCAT builds a PRCAT/DRCAT scheme with one tree per bank. The full
+// TreeConfig (custom ladders included) is richer than a serializable
+// spec, so this constructs directly; spec-expressible configurations are
+// also available as Build("prcat:..."/"drcat:...").
 func NewCAT(banks int, cfg TreeConfig) (Scheme, error) {
 	return mitigation.NewCAT(banks, cfg)
 }
@@ -78,17 +115,28 @@ func NewCAT(banks int, cfg TreeConfig) (Scheme, error) {
 // 2024): counters sketch counters per bank spread over depth hash rows,
 // fronted by an exact recent-aggressor table. Deterministically sound —
 // the sketch never undercounts — with approximation showing up as extra
-// refreshes, never missed victims.
+// refreshes, never missed victims. Thin wrapper over the spec registry.
 func NewCoMeT(banks, rowsPerBank int, threshold uint32, counters, depth int, seed uint64) (Scheme, error) {
-	return mitigation.NewCoMeT(banks, rowsPerBank, threshold, counters, depth, seed)
+	p := mitigation.Params{}
+	p.SetInt("counters", counters)
+	p.SetInt("depth", depth)
+	p.SetUint64("seed", seed)
+	return mitigation.Build(mitigation.SchemeSpec{
+		Kind: mitigation.KindCoMeT, Threshold: threshold, Params: p,
+	}, banks, rowsPerBank)
 }
 
 // NewABACuS builds the all-bank shared-counter tracker (Olgun et al.,
 // USENIX Security 2024): entries Misra-Gries counters keyed by row ID and
 // shared across every bank, refreshing a hot row's victims in all banks
 // at once (the scheme implements the mitigation.CrossBank interface).
+// Thin wrapper over the spec registry.
 func NewABACuS(banks, rowsPerBank, entries int, threshold uint32) (Scheme, error) {
-	return mitigation.NewABACuS(banks, rowsPerBank, entries, threshold)
+	p := mitigation.Params{}
+	p.SetInt("counters", entries)
+	return mitigation.Build(mitigation.SchemeSpec{
+		Kind: mitigation.KindABACuS, Threshold: threshold, Params: p,
+	}, banks, rowsPerBank)
 }
 
 // NewStochastic builds a DSAC-style stochastic-approximate tracker (Hong
@@ -125,53 +173,52 @@ func Workloads() []trace.Spec { return trace.Workloads() }
 // ExperimentOptions configures the figure/table generators.
 type ExperimentOptions = experiments.Options
 
-// ReproduceAll regenerates every table and figure to w (see
-// cmd/experiments for per-figure control). Simulation cells run
-// concurrently (o.Parallel caps the worker pool) and one result cache is
-// shared across all figures, so e.g. Fig. 9 reuses Fig. 8's paired runs
-// and every no-mitigation baseline is computed exactly once.
+// Report is the structured result of one experiment table: a column
+// schema, rows of typed cells and per-report metadata. Renderers turn
+// streams of Reports into text tables, JSON or CSV.
+type Report = experiments.Report
+
+// ExperimentInfo describes one registered experiment generator.
+type ExperimentInfo struct {
+	Name        string
+	Description string
+}
+
+// Experiments lists every registered table/figure generator in canonical
+// order. ReproduceAll, RunExperiment and the cmd/experiments CLI all
+// iterate this same registry.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range experiments.Experiments() {
+		out = append(out, ExperimentInfo{Name: e.Name, Description: e.Description})
+	}
+	return out
+}
+
+// RunExperiment regenerates one registered experiment (see Experiments)
+// as text to w.
+func RunExperiment(w io.Writer, name string, o ExperimentOptions) error {
+	if o.Cache == nil && !o.NoCache {
+		o.Cache = runner.NewCache()
+	}
+	if o.Progress == nil {
+		o.Progress = w
+	}
+	return experiments.RunExperiment(name, o, experiments.NewTextRenderer(w))
+}
+
+// ReproduceAll regenerates every registered table and figure to w by
+// iterating the experiment registry (see cmd/experiments for per-figure
+// control and JSON/CSV output). Simulation cells run concurrently
+// (o.Parallel caps the worker pool) and one result cache is shared across
+// all figures, so e.g. Fig. 9 reuses Fig. 8's paired runs and every
+// no-mitigation baseline is computed exactly once.
 func ReproduceAll(w io.Writer, o ExperimentOptions) error {
 	if o.Cache == nil && !o.NoCache {
 		o.Cache = runner.NewCache()
 	}
-	if err := experiments.Table1(w); err != nil {
-		return err
+	if o.Progress == nil {
+		o.Progress = w
 	}
-	if _, err := experiments.Table2(w); err != nil {
-		return err
-	}
-	if _, err := experiments.Fig1(w); err != nil {
-		return err
-	}
-	if _, err := experiments.LFSRStudy(w, 100); err != nil {
-		return err
-	}
-	if _, err := experiments.Fig2(w, o); err != nil {
-		return err
-	}
-	if _, err := experiments.Fig3(w, o); err != nil {
-		return err
-	}
-	if _, err := experiments.Fig8(w, o); err != nil {
-		return err
-	}
-	if _, err := experiments.Fig9(w, o); err != nil {
-		return err
-	}
-	if _, err := experiments.Fig10(w, o); err != nil {
-		return err
-	}
-	if _, err := experiments.Fig11(w, o); err != nil {
-		return err
-	}
-	if _, err := experiments.Fig12(w, o); err != nil {
-		return err
-	}
-	if _, err := experiments.Fig13(w, o); err != nil {
-		return err
-	}
-	if _, err := experiments.FigX(w, o); err != nil {
-		return err
-	}
-	return nil
+	return experiments.RunAll(o, experiments.NewTextRenderer(w))
 }

@@ -111,6 +111,85 @@ func TestFacadeRunPair(t *testing.T) {
 	}
 }
 
+func TestFacadeBuildFromSpec(t *testing.T) {
+	spec, err := ParseScheme("comet:threshold=1024,counters=256,depth=4,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := Build(spec, Default2Channel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme.Name() != "CoMeT_256" || scheme.Kind() != mitigation.KindCoMeT {
+		t.Errorf("built %s (%v)", scheme.Name(), scheme.Kind())
+	}
+	// The constructor wrappers and the spec path build identical schemes.
+	direct, err := NewCoMeT(Default2Channel().TotalBanks(), Default2Channel().RowsPerBank, 1024, 256, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Name() != scheme.Name() || direct.CountersPerBank() != scheme.CountersPerBank() {
+		t.Errorf("wrapper built %s/%d, spec built %s/%d",
+			direct.Name(), direct.CountersPerBank(), scheme.Name(), scheme.CountersPerBank())
+	}
+	// Missing threshold fails loudly.
+	spec.Threshold = 0
+	if _, err := Build(spec, Default2Channel()); err == nil {
+		t.Error("Build without threshold must fail")
+	}
+}
+
+// TestReproduceAllCoversRegistry runs the whole suite at a micro scale and
+// asserts every registered experiment's table appears in ReproduceAll's
+// output — the executable form of "the registry and ReproduceAll cover
+// identical sets", which guards against the historical drift where
+// ablations and headlines ran from the CLI but not from ReproduceAll.
+func TestReproduceAllCoversRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite micro run; skipped with -short")
+	}
+	// One distinctive rendered marker per experiment. A registered
+	// experiment without a marker here fails the test, so the map cannot
+	// silently fall behind the registry.
+	markers := map[string]string{
+		"table1":    "Table I:",
+		"table2":    "Table II:",
+		"fig1":      "Fig. 1:",
+		"lfsr":      "LFSR study",
+		"fig2":      "Fig. 2:",
+		"fig3":      "Fig. 3:",
+		"fig8":      "Fig. 8:",
+		"fig9":      "Fig. 9:",
+		"fig10":     "Fig. 10:",
+		"fig11":     "Fig. 11:",
+		"fig12":     "Fig. 12:",
+		"fig13":     "Fig. 13:",
+		"figx":      "Fig. X",
+		"ablations": "Ablation:",
+		"headlines": "Headline claims",
+	}
+	var buf bytes.Buffer
+	o := ExperimentOptions{Scale: 0.02, Seed: 3, Workloads: []string{"black"}, Quiet: true, LFSRTrials: 5}
+	if err := ReproduceAll(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	infos := Experiments()
+	if len(infos) != len(markers) {
+		t.Errorf("registry has %d experiments, marker map %d — update the map", len(infos), len(markers))
+	}
+	for _, e := range infos {
+		marker, ok := markers[e.Name]
+		if !ok {
+			t.Errorf("registered experiment %q has no output marker in this test", e.Name)
+			continue
+		}
+		if !strings.Contains(out, marker) {
+			t.Errorf("ReproduceAll output missing %s (marker %q)", e.Name, marker)
+		}
+	}
+}
+
 func TestReproduceAllAnalyticPieces(t *testing.T) {
 	// Only the cheap pieces; the figure sweeps have their own tests.
 	var buf bytes.Buffer

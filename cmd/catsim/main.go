@@ -6,6 +6,13 @@
 //	catsim -workload black -scheme DRCAT -counters 64 -levels 11 -threshold 32768
 //	catsim -workload comm1 -scheme PRA -threshold 16384
 //	catsim -workload face -scheme SCA -counters 128 -attack heavy -kernel 3
+//
+// -scheme also accepts full spec strings (any registered kind, including
+// the modern trackers), which override the individual -counters/-levels
+// flags; a threshold= param overrides -threshold:
+//
+//	catsim -workload comm1 -scheme comet:counters=512,depth=4
+//	catsim -workload black -scheme drcat:threshold=16384,counters=64,levels=11
 package main
 
 import (
@@ -55,25 +62,37 @@ func main() {
 	fatal(err)
 
 	var spec sim.SchemeSpec
-	switch strings.ToUpper(*scheme) {
-	case "SCA":
-		spec = sim.SchemeSpec{Kind: mitigation.KindSCA, Counters: *counters}
-	case "PRA":
-		p := *praP
-		if p == 0 {
-			p = mitigation.PRAProbabilityForThreshold(uint32(*threshold))
+	if strings.Contains(*scheme, ":") {
+		// Full spec string: one flag carries the whole configuration
+		// (any registered kind); a threshold= param overrides -threshold.
+		ms, err := mitigation.ParseSpec(*scheme)
+		fatal(err)
+		spec, err = sim.FromSpec(ms)
+		fatal(err)
+		if ms.Threshold != 0 {
+			*threshold = uint(ms.Threshold)
 		}
-		spec = sim.SchemeSpec{Kind: mitigation.KindPRA, PRAProb: p}
-	case "PRCAT":
-		spec = sim.SchemeSpec{Kind: mitigation.KindPRCAT, Counters: *counters, MaxLevels: *levels}
-	case "DRCAT":
-		spec = sim.SchemeSpec{Kind: mitigation.KindDRCAT, Counters: *counters, MaxLevels: *levels}
-	case "CC":
-		spec = sim.SchemeSpec{Kind: mitigation.KindCounterCache, Counters: *counters}
-	case "NONE":
-		spec = sim.SchemeSpec{Kind: mitigation.KindNone}
-	default:
-		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	} else {
+		switch strings.ToUpper(*scheme) {
+		case "SCA":
+			spec = sim.SchemeSpec{Kind: mitigation.KindSCA, Counters: *counters}
+		case "PRA":
+			p := *praP
+			if p == 0 {
+				p = mitigation.PRAProbabilityForThreshold(uint32(*threshold))
+			}
+			spec = sim.SchemeSpec{Kind: mitigation.KindPRA, PRAProb: p}
+		case "PRCAT":
+			spec = sim.SchemeSpec{Kind: mitigation.KindPRCAT, Counters: *counters, MaxLevels: *levels}
+		case "DRCAT":
+			spec = sim.SchemeSpec{Kind: mitigation.KindDRCAT, Counters: *counters, MaxLevels: *levels}
+		case "CC":
+			spec = sim.SchemeSpec{Kind: mitigation.KindCounterCache, Counters: *counters}
+		case "NONE":
+			spec = sim.SchemeSpec{Kind: mitigation.KindNone}
+		default:
+			fatal(fmt.Errorf("unknown scheme %q (kind names also parse as specs, e.g. comet:counters=512)", *scheme))
+		}
 	}
 
 	geom := dram.Default2Channel()

@@ -2,14 +2,24 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.25] [-seed 1] [-parallel 0] [-workloads a,b,c] [targets...]
+//	experiments [flags] [targets...]
 //
-// Targets: table1 table2 fig1 lfsr fig2 fig3 fig8 fig9 fig10 fig11 fig12
-// fig13 figx all (default: all; figx is the beyond-the-paper
-// overhead-vs-protection study of the modern trackers under adversarial
-// patterns). Scale 1 reproduces full 64 ms intervals; smaller scales
+// Targets come from the experiment registry (experiments -list prints
+// them with descriptions); "all" or no targets runs everything in
+// canonical order. Unknown targets exit with status 2 and print the
+// registry. Scale 1 reproduces full 64 ms intervals; smaller scales
 // shrink interval, threshold and traffic together (rates stay
 // representative, see internal/experiments).
+//
+// Output is pluggable: -format text (default, the paper-shaped tables,
+// byte-identical to the historical output and locked by golden tests),
+// -format json (one JSON array of structured Reports) or -format csv.
+// With json/csv, progress lines go to stderr so stdout stays parseable.
+//
+// The figx protection study sweeps arbitrary user-defined scheme configs
+// via the repeatable -scheme flag, e.g.
+//
+//	experiments -scheme comet:counters=512,depth=4 -scheme drcat:counters=64 figx
 //
 // Simulation cells run on a deterministic worker pool: -parallel caps the
 // concurrency (0 = GOMAXPROCS, 1 = sequential) and the emitted tables are
@@ -20,36 +30,70 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
 	"catsim/internal/experiments"
+	"catsim/internal/mitigation"
 	"catsim/internal/runner"
 )
 
 func main() {
-	var (
-		scale     = flag.Float64("scale", 0.25, "experiment scale (1 = paper scale)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		workloads = flag.String("workloads", "", "comma-separated workload subset")
-		intervals = flag.Int("intervals", 1, "auto-refresh intervals per run")
-		trials    = flag.Int("lfsr-trials", 200, "Monte-Carlo trials for the LFSR study")
-		quiet     = flag.Bool("q", false, "suppress progress lines")
-		parallel  = flag.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
-		cache     = flag.Bool("cache", true, "memoize shared runs (baselines) across figures")
-	)
-	flag.Parse()
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// run is the testable CLI body; it returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scale       = fs.Float64("scale", 0.25, "experiment scale (1 = paper scale)")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		workloads   = fs.String("workloads", "", "comma-separated workload subset")
+		intervals   = fs.Int("intervals", 1, "auto-refresh intervals per run")
+		trials      = fs.Int("lfsr-trials", 200, "Monte-Carlo trials for the LFSR study")
+		quiet       = fs.Bool("q", false, "suppress progress lines and timings")
+		parallel    = fs.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
+		cache       = fs.Bool("cache", true, "memoize shared runs (baselines) across figures")
+		format      = fs.String("format", "text", "output format: text, json or csv")
+		list        = fs.Bool("list", false, "list registered experiments and exit")
+		checkReport = fs.String("validate-json", "", "decode a -format json output `file` as []Report and exit")
+		schemes     mitigation.SpecList
+	)
+	fs.Var(&schemes, "scheme",
+		"scheme spec for the figx sweep, e.g. comet:counters=512,depth=4 (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if *list {
+		for _, e := range experiments.Experiments() {
+			fmt.Fprintf(stdout, "%-10s %s\n", e.Name, e.Description)
+		}
+		return 0
+	}
+	if *checkReport != "" {
+		return validateJSON(*checkReport, stdout, stderr)
+	}
 
 	o := experiments.Options{
 		Scale: *scale, Seed: *seed, Quiet: *quiet, Intervals: *intervals,
-		Parallel: *parallel, NoCache: !*cache, Context: ctx,
+		LFSRTrials: *trials, Parallel: *parallel, NoCache: !*cache,
+		Schemes: schemes, Context: ctx,
 	}
 	if *cache {
 		o.Cache = runner.NewCache()
@@ -58,69 +102,95 @@ func main() {
 		o.Workloads = strings.Split(*workloads, ",")
 	}
 
-	targets := flag.Args()
+	targets := fs.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
-		targets = []string{"table1", "table2", "fig1", "lfsr", "fig2", "fig3",
-			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "figx", "ablations", "headlines"}
+		targets = experiments.Names()
+	}
+	// Validate every target up front: an unknown one exits 2 with the
+	// registry, before any simulation time is spent.
+	for _, target := range targets {
+		if _, ok := experiments.Lookup(target); !ok {
+			fmt.Fprintf(stderr, "experiments: unknown target %q; registered experiments:\n", target)
+			for _, e := range experiments.Experiments() {
+				fmt.Fprintf(stderr, "  %-10s %s\n", e.Name, e.Description)
+			}
+			return 2
+		}
 	}
 
-	w := os.Stdout
+	var renderer experiments.Renderer
+	text := false
+	switch *format {
+	case "text":
+		renderer = experiments.NewTextRenderer(stdout)
+		text = true
+		if !*quiet {
+			o.Progress = stdout
+		}
+	case "json":
+		renderer = experiments.NewJSONRenderer(stdout)
+		if !*quiet {
+			o.Progress = stderr
+		}
+	case "csv":
+		renderer = experiments.NewCSVRenderer(stdout)
+		if !*quiet {
+			o.Progress = stderr
+		}
+	default:
+		fmt.Fprintf(stderr, "experiments: unknown format %q (text, json or csv)\n", *format)
+		return 2
+	}
+
 	for _, target := range targets {
 		start := time.Now()
-		fmt.Fprintf(w, "==== %s (scale %.2f) ====\n", target, *scale)
-		var err error
-		switch target {
-		case "table1":
-			err = experiments.Table1(w)
-		case "table2":
-			_, err = experiments.Table2(w)
-		case "fig1":
-			_, err = experiments.Fig1(w)
-		case "lfsr":
-			_, err = experiments.LFSRStudy(w, *trials)
-		case "fig2":
-			_, err = experiments.Fig2(w, o)
-		case "fig3":
-			_, err = experiments.Fig3(w, o)
-		case "fig8":
-			_, err = experiments.Fig8(w, o)
-		case "fig9":
-			_, err = experiments.Fig9(w, o)
-		case "fig10":
-			_, err = experiments.Fig10(w, o)
-		case "fig11":
-			_, err = experiments.Fig11(w, o)
-		case "fig12":
-			_, err = experiments.Fig12(w, o)
-		case "fig13":
-			_, err = experiments.Fig13(w, o)
-		case "figx":
-			_, err = experiments.FigX(w, o)
-		case "headlines":
-			_, err = experiments.Headlines(w, o)
-		case "ablations":
-			if _, err = experiments.AblationLadders(w, o); err == nil {
-				if _, err = experiments.AblationWeightBits(w, o); err == nil {
-					if _, err = experiments.AblationPreSplit(w, o); err == nil {
-						ccOpts := o
-						if len(ccOpts.Workloads) == 0 {
-							ccOpts.Workloads = []string{"black", "comm1", "face", "libq"}
-						}
-						_, err = experiments.AblationCounterCache(w, ccOpts)
-					}
-				}
+		if text {
+			fmt.Fprintf(stdout, "==== %s (scale %.2f) ====\n", target, *scale)
+		}
+		if err := experiments.RunExperiment(target, o, renderer); err != nil {
+			fmt.Fprintln(stderr, "experiments:", strings.TrimPrefix(err.Error(), "experiments: "))
+			return 1
+		}
+		if text {
+			if *quiet {
+				fmt.Fprintf(stdout, "---- %s done ----\n\n", target)
+			} else {
+				fmt.Fprintf(stdout, "---- %s done in %v ----\n\n", target, time.Since(start).Round(time.Millisecond))
 			}
-		default:
-			err = fmt.Errorf("unknown target %q", target)
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(w, "---- %s done in %v ----\n\n", target, time.Since(start).Round(time.Millisecond))
 	}
-	if o.Cache != nil && !*quiet {
-		fmt.Fprintf(w, "result cache: %d simulations run, %d served from cache\n",
+	if err := renderer.Flush(); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
+	if text && o.Cache != nil && !*quiet {
+		fmt.Fprintf(stdout, "result cache: %d simulations run, %d served from cache\n",
 			len(o.Cache.Runs()), o.Cache.Hits())
 	}
+	return 0
+}
+
+// validateJSON decodes a -format json output file into []Report — the CI
+// golden job's machine-readability check.
+func validateJSON(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
+	var reports []experiments.Report
+	if err := json.Unmarshal(data, &reports); err != nil {
+		fmt.Fprintf(stderr, "experiments: %s does not decode as []Report: %v\n", path, err)
+		return 1
+	}
+	if len(reports) == 0 {
+		fmt.Fprintf(stderr, "experiments: %s decodes to zero reports\n", path)
+		return 1
+	}
+	rows := 0
+	for _, r := range reports {
+		rows += len(r.Rows)
+	}
+	fmt.Fprintf(stdout, "%s: %d reports, %d rows ok\n", path, len(reports), rows)
+	return 0
 }

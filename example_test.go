@@ -33,6 +33,25 @@ func ExampleNewTree() {
 	// victims 2047 and 2049 covered: true
 }
 
+// ExampleBuild constructs a scheme from its declarative spec string: any
+// registered kind, configured entirely by data. The same spec round-trips
+// through JSON and the CLI's -scheme flag.
+func ExampleBuild() {
+	spec, err := catsim.ParseScheme("comet:threshold=32768,counters=512,depth=4")
+	if err != nil {
+		panic(err)
+	}
+	scheme, err := catsim.Build(spec, catsim.Default2Channel())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s (kind %s)\n", scheme.Name(), scheme.Kind())
+	fmt.Println(spec.String())
+	// Output:
+	// CoMeT_512 (kind CoMeT)
+	// comet:threshold=32768,counters=512,depth=4
+}
+
 // ExampleNewLadder shows the paper's published split thresholds for the
 // canonical configuration (M=64 counters, L=10 levels, T=32768).
 func ExampleNewLadder() {

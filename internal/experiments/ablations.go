@@ -18,6 +18,42 @@ import (
 // counting refreshed rows (the CMRPO driver) and SRAM traffic (the dynamic
 // energy and latency driver).
 
+func init() {
+	Register(Experiment{
+		Name:        "ablations",
+		Description: "beyond-paper design-choice ablations: ladder model, weight bits, pre-split depth, counter-cache baseline",
+		Run: func(o Options, emit func(*Report) error) error {
+			if _, rep, err := ablationLaddersReport(o); err != nil {
+				return err
+			} else if err := emit(rep); err != nil {
+				return err
+			}
+			if _, rep, err := ablationWeightBitsReport(o); err != nil {
+				return err
+			} else if err := emit(rep); err != nil {
+				return err
+			}
+			if _, rep, err := ablationPreSplitReport(o); err != nil {
+				return err
+			} else if err := emit(rep); err != nil {
+				return err
+			}
+			// The counter-cache comparison runs full simulations per
+			// workload; default to the CLI's historical 4-workload subset
+			// when the caller did not restrict the set.
+			ccOpts := o
+			if len(ccOpts.Workloads) == 0 {
+				ccOpts.Workloads = []string{"black", "comm1", "face", "libq"}
+			}
+			_, rep, err := ablationCounterCacheReport(ccOpts)
+			if err != nil {
+				return err
+			}
+			return emit(rep)
+		},
+	})
+}
+
 // AblationPoint is one variant measurement.
 type AblationPoint struct {
 	Variant       string
@@ -65,9 +101,9 @@ func replayStream(cfg core.Config, seed uint64, n int) (AblationPoint, error) {
 // canonical profile (the default), the geometric ladder generalising the
 // paper's worked example, and the uniform ladder (no adaptive splitting
 // below T — an SCA-shaped tree).
-func AblationLadders(w io.Writer, o Options) ([]AblationPoint, error) {
+func ablationLaddersReport(o Options) ([]AblationPoint, *Report, error) {
 	if err := o.fill(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	const rows, m, l = 1 << 16, 64, 11
 	threshold := scaledThreshold(32768, o.Scale)
@@ -95,23 +131,40 @@ func AblationLadders(w io.Writer, o Options) ([]AblationPoint, error) {
 			return p, nil
 		})
 	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		Name:  "ablations/ladders",
+		Title: "Ablation: split-threshold ladder model (DRCAT_64, L=11, T=32K)",
+		Columns: []Column{
+			{Name: "ladder", Type: "string"},
+			{Name: "rows_refreshed", Header: "rows refreshed", Type: "int", Format: "%d"},
+			{Name: "refresh_events", Header: "refresh events", Type: "int", Format: "%d"},
+			{Name: "sram_per_access", Header: "SRAM/access", Type: "float", Format: "%.2f"},
+		},
+		Meta: o.meta(),
+	}
+	for _, p := range out {
+		rep.Rows = append(rep.Rows, Row{p.Variant, p.RowsRefreshed, p.RefreshEvents, p.SRAMPerAccess})
+	}
+	return out, rep, nil
+}
+
+// AblationLadders renders the ladder-model ablation as a text table.
+func AblationLadders(w io.Writer, o Options) ([]AblationPoint, error) {
+	out, rep, err := ablationLaddersReport(o)
+	if err != nil {
 		return nil, err
 	}
-	tw := table(w)
-	fmt.Fprintln(tw, "Ablation: split-threshold ladder model (DRCAT_64, L=11, T=32K)")
-	fmt.Fprintln(tw, "ladder\trows refreshed\trefresh events\tSRAM/access")
-	for _, p := range out {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\n", p.Variant, p.RowsRefreshed, p.RefreshEvents, p.SRAMPerAccess)
-	}
-	return out, tw.Flush()
+	return out, rep.renderText(w)
 }
 
 // AblationWeightBits sweeps the DRCAT weight-register width. The paper uses
 // 2 bits: wider registers react more slowly to phase changes (weights take
 // longer to saturate and to age out), narrower ones thrash.
-func AblationWeightBits(w io.Writer, o Options) ([]AblationPoint, error) {
+func ablationWeightBitsReport(o Options) ([]AblationPoint, *Report, error) {
 	if err := o.fill(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	const rows, m, l = 1 << 16, 64, 11
 	threshold := scaledThreshold(32768, o.Scale)
@@ -129,23 +182,39 @@ func AblationWeightBits(w io.Writer, o Options) ([]AblationPoint, error) {
 			return p, nil
 		})
 	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		Name:  "ablations/weightbits",
+		Title: "Ablation: DRCAT weight-register width (paper: 2 bits)",
+		Columns: []Column{
+			{Name: "bits", Type: "string"},
+			{Name: "rows_refreshed", Header: "rows refreshed", Type: "int", Format: "%d"},
+			{Name: "reconfigurations", Type: "int", Format: "%d"},
+		},
+		Meta: o.meta(),
+	}
+	for _, p := range out {
+		rep.Rows = append(rep.Rows, Row{p.Variant, p.RowsRefreshed, p.Reconfigs})
+	}
+	return out, rep, nil
+}
+
+// AblationWeightBits renders the weight-register ablation as a text table.
+func AblationWeightBits(w io.Writer, o Options) ([]AblationPoint, error) {
+	out, rep, err := ablationWeightBitsReport(o)
+	if err != nil {
 		return nil, err
 	}
-	tw := table(w)
-	fmt.Fprintln(tw, "Ablation: DRCAT weight-register width (paper: 2 bits)")
-	fmt.Fprintln(tw, "bits\trows refreshed\treconfigurations")
-	for _, p := range out {
-		fmt.Fprintf(tw, "%s\t%d\t%d\n", p.Variant, p.RowsRefreshed, p.Reconfigs)
-	}
-	return out, tw.Flush()
+	return out, rep.renderText(w)
 }
 
 // AblationPreSplit sweeps the pre-split depth λ (paper §IV-C: a deeper
 // pre-split reduces pointer-chasing SRAM accesses but spends counters on
 // regions that may stay cold).
-func AblationPreSplit(w io.Writer, o Options) ([]AblationPoint, error) {
+func ablationPreSplitReport(o Options) ([]AblationPoint, *Report, error) {
 	if err := o.fill(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	const rows, m, l = 1 << 16, 64, 11
 	threshold := scaledThreshold(32768, o.Scale)
@@ -163,24 +232,40 @@ func AblationPreSplit(w io.Writer, o Options) ([]AblationPoint, error) {
 			return p, nil
 		})
 	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		Name:  "ablations/presplit",
+		Title: "Ablation: pre-split depth λ (paper default: log2 M = 6)",
+		Columns: []Column{
+			{Name: "lambda", Header: "λ", Type: "string"},
+			{Name: "rows_refreshed", Header: "rows refreshed", Type: "int", Format: "%d"},
+			{Name: "sram_per_access", Header: "SRAM/access", Type: "float", Format: "%.2f"},
+		},
+		Meta: o.meta(),
+	}
+	for _, p := range out {
+		rep.Rows = append(rep.Rows, Row{p.Variant, p.RowsRefreshed, p.SRAMPerAccess})
+	}
+	return out, rep, nil
+}
+
+// AblationPreSplit renders the pre-split ablation as a text table.
+func AblationPreSplit(w io.Writer, o Options) ([]AblationPoint, error) {
+	out, rep, err := ablationPreSplitReport(o)
+	if err != nil {
 		return nil, err
 	}
-	tw := table(w)
-	fmt.Fprintln(tw, "Ablation: pre-split depth λ (paper default: log2 M = 6)")
-	fmt.Fprintln(tw, "λ\trows refreshed\tSRAM/access")
-	for _, p := range out {
-		fmt.Fprintf(tw, "%s\t%d\t%.2f\n", p.Variant, p.RowsRefreshed, p.SRAMPerAccess)
-	}
-	return out, tw.Flush()
+	return out, rep.renderText(w)
 }
 
 // AblationCounterCache compares the CAL'15 counter-cache baseline against
 // DRCAT at matched on-chip storage on real workload streams: the cache
 // refreshes only exact victims (fewest rows) but pays DRAM traffic for
 // misses — the trade-off the paper's Fig. 2 discussion argues against.
-func AblationCounterCache(w io.Writer, o Options) ([]Cell, error) {
+func ablationCounterCacheReport(o Options) ([]Cell, *Report, error) {
 	if err := o.fill(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	specs := []struct {
 		name string
@@ -196,7 +281,7 @@ func AblationCounterCache(w io.Writer, o Options) ([]Cell, error) {
 	for _, name := range o.Workloads {
 		wl, err := trace.Lookup(name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, s := range specs {
 			spec := simSchemeSpec(s.kind, s.m)
@@ -208,17 +293,36 @@ func AblationCounterCache(w io.Writer, o Options) ([]Cell, error) {
 	}
 	results, err := o.engine().Grid(o.Context, cells)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([]Cell, len(results))
-	tw := table(w)
-	fmt.Fprintln(tw, "Extension: counter-cache baseline vs DRCAT (T=16K)")
-	fmt.Fprintln(tw, "workload\tscheme\tCMRPO\trows refreshed\textra DRAM accesses")
+	rep := &Report{
+		Name:  "ablations/countercache",
+		Title: "Extension: counter-cache baseline vs DRCAT (T=16K)",
+		Columns: []Column{
+			{Name: "workload", Type: "string"},
+			{Name: "scheme", Type: "string"},
+			{Name: "cmrpo", Header: "CMRPO", Type: "percent"},
+			{Name: "rows_refreshed", Header: "rows refreshed", Type: "int", Format: "%d"},
+			{Name: "extra_dram_accesses", Header: "extra DRAM accesses", Type: "int", Format: "%d"},
+		},
+		Meta: o.meta(),
+	}
 	for i, r := range results {
 		out[i] = Cell{Workload: labels[i].workload, Scheme: labels[i].scheme,
 			CMRPO: r.Result.CMRPO, Counts: r.Result.Counts}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\n", labels[i].workload, labels[i].scheme,
-			pct(r.Result.CMRPO), r.Result.Counts.RowsRefreshed, r.Result.Counts.ExtraMemAcc)
+		rep.Rows = append(rep.Rows, Row{labels[i].workload, labels[i].scheme,
+			r.Result.CMRPO, r.Result.Counts.RowsRefreshed, r.Result.Counts.ExtraMemAcc})
 	}
-	return out, tw.Flush()
+	return out, rep, nil
+}
+
+// AblationCounterCache renders the counter-cache comparison as a text
+// table.
+func AblationCounterCache(w io.Writer, o Options) ([]Cell, error) {
+	out, rep, err := ablationCounterCacheReport(o)
+	if err != nil {
+		return nil, err
+	}
+	return out, rep.renderText(w)
 }

@@ -17,8 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
-	"text/tabwriter"
+	"strings"
 
 	"catsim/internal/dram"
 	"catsim/internal/mitigation"
@@ -46,6 +45,17 @@ type Options struct {
 	Intervals int
 	// Quiet suppresses progress lines on long sweeps.
 	Quiet bool
+	// Progress receives live progress lines during sweeps (nil = none).
+	// The text wrappers (Fig8(w, o), ...) and ReproduceAll point it at
+	// the output writer, reproducing the historical interleaving.
+	Progress io.Writer
+	// LFSRTrials is the Monte-Carlo trial count for the lfsr study
+	// (0 = 100).
+	LFSRTrials int
+	// Schemes overrides the figx scheme lineup with user-defined specs
+	// (the CLI's repeatable -scheme flag). Thresholds still come from the
+	// figure's own sweep; a spec's Threshold field is ignored there.
+	Schemes []mitigation.SchemeSpec
 
 	// Parallel caps concurrently executing simulation cells
 	// (0 = GOMAXPROCS, 1 = the sequential reference path). Results and
@@ -76,6 +86,15 @@ func (o *Options) fill() error {
 	}
 	if len(o.Workloads) == 0 {
 		o.Workloads = trace.WorkloadNames()
+	} else {
+		// Fail loudly on typos: a silently empty or partial subset would
+		// quietly skew every mean in the suite.
+		for _, name := range o.Workloads {
+			if _, err := trace.Lookup(name); err != nil {
+				return fmt.Errorf("experiments: unknown workload %q (valid: %s)",
+					name, strings.Join(trace.WorkloadNames(), ", "))
+			}
+		}
 	}
 	if o.Intervals == 0 {
 		o.Intervals = 1
@@ -164,11 +183,6 @@ func Mean(cells []Cell, f func(Cell) float64) float64 {
 	return sum / float64(len(cells))
 }
 
-// table starts an aligned text table on w.
-func table(w io.Writer) *tabwriter.Writer {
-	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-}
-
 func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
 
 // suiteOf returns the benchmark suite label for a workload name.
@@ -179,12 +193,20 @@ func suiteOf(name string) string {
 	return "?"
 }
 
-// sortedKeys returns map keys in sorted order (deterministic output).
-func sortedKeys[M ~map[string]V, V any](m M) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// meta snapshots the options (and shared cache) into report metadata.
+// Call after fill.
+func (o *Options) meta() Meta {
+	m := Meta{Scale: o.Scale, Seed: o.Seed, Intervals: o.Intervals, Workloads: o.Workloads}
+	if o.Cache != nil {
+		m.CacheRuns = len(o.Cache.Runs())
+		m.CacheHits = o.Cache.Hits()
 	}
-	sort.Strings(keys)
-	return keys
+	return m
+}
+
+// textEmit streams reports through the text renderer to w — the emit
+// function behind the historical Fig8(w, o)-style wrappers.
+func textEmit(w io.Writer) func(*Report) error {
+	r := NewTextRenderer(w)
+	return r.Report
 }

@@ -8,6 +8,31 @@ import (
 	"catsim/internal/rng"
 )
 
+func init() {
+	Register(Experiment{
+		Name:        "fig1",
+		Description: "PRA 5-year unsurvivability grid vs the Chipkill reference (paper Fig. 1)",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, rep, err := fig1Report()
+			if err != nil {
+				return err
+			}
+			return emit(rep)
+		},
+	})
+	Register(Experiment{
+		Name:        "lfsr",
+		Description: "Monte-Carlo collapse of PRA's guarantee under LFSR PRNGs (paper §III-A)",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, rep, err := lfsrReport(o.LFSRTrials)
+			if err != nil {
+				return err
+			}
+			return emit(rep)
+		},
+	})
+}
+
 // Fig1Point is one bar of Fig. 1.
 type Fig1Point struct {
 	Threshold       uint32
@@ -15,42 +40,55 @@ type Fig1Point struct {
 	Unsurvivability float64
 }
 
-// Fig1 evaluates PRA's 5-year unsurvivability for the paper's grid:
-// refresh thresholds 32K/24K/16K/8K and p from 0.001 to 0.006, with the
-// paper's Q0 per threshold, against the Chipkill reference.
-func Fig1(w io.Writer) ([]Fig1Point, error) {
+func fig1Report() ([]Fig1Point, *Report, error) {
 	thresholds := []uint32{32768, 24576, 16384, 8192}
 	ps := []float64{0.001, 0.002, 0.003, 0.004, 0.005, 0.006}
 	var out []Fig1Point
 
-	tw := table(w)
-	fmt.Fprintln(tw, "Fig. 1: PRA unsurvivability for 5 years (Chipkill reference 1e-4)")
-	fmt.Fprint(tw, "p \\ T")
-	for _, t := range thresholds {
-		fmt.Fprintf(tw, "\t%dK(Q0=%d)", t/1024, reliability.DefaultQ0(t))
+	rep := &Report{
+		Name:    "fig1",
+		Title:   "Fig. 1: PRA unsurvivability for 5 years (Chipkill reference 1e-4)",
+		Columns: []Column{{Name: "p", Header: "p \\ T", Type: "float", Format: "p=%.3f"}},
+		Notes:   []string{"(* = above the Chipkill 1e-4 line)"},
 	}
-	fmt.Fprintln(tw)
+	for _, t := range thresholds {
+		rep.Columns = append(rep.Columns, Column{
+			Name:   fmt.Sprintf("T%d", t),
+			Header: fmt.Sprintf("%dK(Q0=%d)", t/1024, reliability.DefaultQ0(t)),
+			Type:   "float",
+		})
+	}
 	for _, p := range ps {
-		fmt.Fprintf(tw, "p=%.3f", p)
+		row := Row{p}
 		for _, t := range thresholds {
 			u, err := reliability.Unsurvivability(p, t, reliability.DefaultQ0(t), 5)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			out = append(out, Fig1Point{Threshold: t, P: p, Unsurvivability: u})
 			mark := " "
 			if u > reliability.ChipkillReference {
 				mark = "*" // worse than Chipkill
 			}
-			fmt.Fprintf(tw, "\t%.2e%s", u, mark)
+			row = append(row, annotate(u, fmt.Sprintf("%.2e%s", u, mark)))
 		}
-		fmt.Fprintln(tw)
+		rep.Rows = append(rep.Rows, row)
 	}
-	fmt.Fprintln(tw, "(* = above the Chipkill 1e-4 line)")
-	return out, tw.Flush()
+	return out, rep, nil
 }
 
-// LFSRStudy reproduces the §III-A Monte-Carlo observation that PRA's
+// Fig1 evaluates PRA's 5-year unsurvivability for the paper's grid:
+// refresh thresholds 32K/24K/16K/8K and p from 0.001 to 0.006, with the
+// paper's Q0 per threshold, against the Chipkill reference.
+func Fig1(w io.Writer) ([]Fig1Point, error) {
+	out, rep, err := fig1Report()
+	if err != nil {
+		return nil, err
+	}
+	return out, rep.renderText(w)
+}
+
+// LFSRStudyResult reproduces the §III-A Monte-Carlo observation that PRA's
 // guarantee collapses with a cheap LFSR-based PRNG. It reports:
 //
 //   - the ideal-PRNG Monte Carlo (no failures at paper parameters,
@@ -68,8 +106,7 @@ type LFSRStudyResult struct {
 	SyncRatio float64
 }
 
-// LFSRStudyParams mirrors the paper's T=16K, p=0.005 experiment.
-func LFSRStudy(w io.Writer, trials int) (LFSRStudyResult, error) {
+func lfsrReport(trials int) (LFSRStudyResult, *Report, error) {
 	if trials < 1 {
 		trials = 100
 	}
@@ -83,31 +120,54 @@ func LFSRStudy(w io.Writer, trials int) (LFSRStudyResult, error) {
 	idealCfg.Intervals = 2 // ideal never fails; keep the run short
 	idealCfg.Trials = min(trials, 20)
 	if res.Ideal, err = reliability.MonteCarloIdeal(idealCfg); err != nil {
-		return res, err
+		return res, nil, err
 	}
 	if res.WeakLFSR, err = reliability.MonteCarloLFSR(cfg); err != nil {
-		return res, err
+		return res, nil, err
 	}
 	maxCfg := cfg
 	maxCfg.TapMask = rng.MaximalMask16
 	maxCfg.Intervals = 2
 	maxCfg.Trials = min(trials, 20)
 	if res.MaxLFSR, err = reliability.MonteCarloLFSR(maxCfg); err != nil {
-		return res, err
+		return res, nil, err
 	}
 	res.SyncTotal, res.SyncRatio = reliability.SyncAttackAccesses(16384, 0.005, rng.MaximalMask16, 0xBEEF)
 
-	tw := table(w)
-	fmt.Fprintln(tw, "LFSR study (T=16K, p=0.005), cf. paper §III-A")
-	fmt.Fprintln(tw, "PRNG\tfailures\ttrials\tfail prob\tfirst-fail interval")
-	fmt.Fprintf(tw, "ideal (xoshiro256**)\t%d\t%d\t%.2e\t%d\n",
-		res.Ideal.Failures, res.Ideal.Trials, res.Ideal.FailProb, res.Ideal.FirstFail)
-	fmt.Fprintf(tw, "weak LFSR x^16+x^8+1\t%d\t%d\t%.2e\t%d\n",
-		res.WeakLFSR.Failures, res.WeakLFSR.Trials, res.WeakLFSR.FailProb, res.WeakLFSR.FirstFail)
-	fmt.Fprintf(tw, "maximal LFSR (blind)\t%d\t%d\t%.2e\t%d\n",
-		res.MaxLFSR.Failures, res.MaxLFSR.Trials, res.MaxLFSR.FailProb, res.MaxLFSR.FirstFail)
-	fmt.Fprintf(tw, "maximal LFSR (phase-aware attacker)\talways fails\t\t1.0\t0 (overhead %.3fx)\n", res.SyncRatio)
-	return res, tw.Flush()
+	rep := &Report{
+		Name:  "lfsr",
+		Title: "LFSR study (T=16K, p=0.005), cf. paper §III-A",
+		Columns: []Column{
+			{Name: "prng", Header: "PRNG", Type: "string"},
+			{Name: "failures", Type: "int", Format: "%d"},
+			{Name: "trials", Type: "int", Format: "%d"},
+			{Name: "fail_prob", Header: "fail prob", Type: "float", Format: "%.2e"},
+			{Name: "first_fail", Header: "first-fail interval", Type: "int", Format: "%d"},
+		},
+		Meta: Meta{LFSRTrials: trials},
+	}
+	for _, r := range []struct {
+		name string
+		mc   reliability.MonteCarloResult
+	}{
+		{"ideal (xoshiro256**)", res.Ideal},
+		{"weak LFSR x^16+x^8+1", res.WeakLFSR},
+		{"maximal LFSR (blind)", res.MaxLFSR},
+	} {
+		rep.Rows = append(rep.Rows, Row{r.name, r.mc.Failures, r.mc.Trials, r.mc.FailProb, r.mc.FirstFail})
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"maximal LFSR (phase-aware attacker)\talways fails\t\t1.0\t0 (overhead %.3fx)", res.SyncRatio))
+	return res, rep, nil
+}
+
+// LFSRStudyParams mirrors the paper's T=16K, p=0.005 experiment.
+func LFSRStudy(w io.Writer, trials int) (LFSRStudyResult, error) {
+	res, rep, err := lfsrReport(trials)
+	if err != nil {
+		return res, err
+	}
+	return res, rep.renderText(w)
 }
 
 func min(a, b int) int {

@@ -106,25 +106,53 @@ func RunFig10Policy(o Options, threshold uint32, kind mitigation.Kind, progress 
 	return out, nil
 }
 
+func init() {
+	Register(Experiment{
+		Name:        "fig10",
+		Description: "DRCAT counter/depth sensitivity sweep with SCA references at T=32K/16K (paper Fig. 10)",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, err := fig10Reports(o, emit)
+			return err
+		},
+	})
+}
+
 // Fig10 renders the counter/depth sensitivity sweep for T = 32K and 16K.
 func Fig10(w io.Writer, o Options) (map[uint32][]Fig10Point, error) {
+	o.Progress = w
+	return fig10Reports(o, textEmit(w))
+}
+
+// fig10Reports measures both thresholds and emits one report each. The
+// options are deliberately not filled here: RunFig10's workload-subset
+// substitution must see the caller's raw workload list.
+func fig10Reports(o Options, emit func(*Report) error) (map[uint32][]Fig10Point, error) {
 	out := map[uint32][]Fig10Point{}
 	for _, threshold := range []uint32{32768, 16384} {
-		points, err := RunFig10(o, threshold, w)
+		points, err := RunFig10(o, threshold, o.Progress)
 		if err != nil {
 			return nil, err
 		}
 		out[threshold] = points
-		tw := table(w)
-		fmt.Fprintf(tw, "Fig. 10: CMRPO per bank for DRCAT (M=32..512, L up to 14), T=%dK\n", threshold/1024)
-		fmt.Fprintln(tw, "M\tscheme\tCMRPO")
+		rep := &Report{
+			Name:  "fig10",
+			Title: fmt.Sprintf("Fig. 10: CMRPO per bank for DRCAT (M=32..512, L up to 14), T=%dK", threshold/1024),
+			Columns: []Column{
+				{Name: "M", Type: "int", Format: "%d"},
+				{Name: "scheme", Type: "string"},
+				{Name: "cmrpo", Header: "CMRPO", Type: "percent"},
+			},
+			Meta: o.meta(),
+		}
+		rep.Meta.Threshold = threshold
 		for _, p := range points {
-			fmt.Fprintf(tw, "%d\t%s\t%s\n", p.M, p.Scheme, pct(p.CMRPO))
+			rep.Rows = append(rep.Rows, Row{p.M, p.Scheme, p.CMRPO})
 		}
 		if m, l := BestDRCATConfig(points); m != 0 {
-			fmt.Fprintf(tw, "minimum-CMRPO DRCAT config: M=%d, L=%d (paper: M=64, L=11)\n", m, l)
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("minimum-CMRPO DRCAT config: M=%d, L=%d (paper: M=64, L=11)", m, l))
 		}
-		if err := tw.Flush(); err != nil {
+		if err := emit(rep); err != nil {
 			return nil, err
 		}
 	}

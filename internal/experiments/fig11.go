@@ -117,22 +117,58 @@ func RunFig11(o Options, threshold uint32, progress io.Writer) ([]Fig11Point, er
 	return out, nil
 }
 
+func init() {
+	Register(Experiment{
+		Name:        "fig11",
+		Description: "CMRPO by system size and mapping policy at T=32K/16K (paper Fig. 11, §VIII-B)",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, err := fig11Reports(o, emit)
+			return err
+		},
+	})
+	Register(Experiment{
+		Name:        "fig12",
+		Description: "refresh-threshold sensitivity 64K..8K with the paper's per-threshold lineups (paper Fig. 12)",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, rep, err := fig12Report(o)
+			if err != nil {
+				return err
+			}
+			return emit(rep)
+		},
+	})
+}
+
 // Fig11 renders the mapping-policy and core-count study for T = 32K, 16K.
 func Fig11(w io.Writer, o Options) (map[uint32][]Fig11Point, error) {
+	o.Progress = w
+	return fig11Reports(o, textEmit(w))
+}
+
+func fig11Reports(o Options, emit func(*Report) error) (map[uint32][]Fig11Point, error) {
 	out := map[uint32][]Fig11Point{}
 	for _, threshold := range []uint32{32768, 16384} {
-		points, err := RunFig11(o, threshold, w)
+		points, err := RunFig11(o, threshold, o.Progress)
 		if err != nil {
 			return nil, err
 		}
 		out[threshold] = points
-		tw := table(w)
-		fmt.Fprintf(tw, "Fig. 11: CMRPO per bank by system and mapping policy, T=%dK\n", threshold/1024)
-		fmt.Fprintln(tw, "system\tscheme\tCMRPO\tETO")
-		for _, p := range points {
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", p.System, p.Scheme, pct(p.CMRPO), pct(p.ETO))
+		rep := &Report{
+			Name:  "fig11",
+			Title: fmt.Sprintf("Fig. 11: CMRPO per bank by system and mapping policy, T=%dK", threshold/1024),
+			Columns: []Column{
+				{Name: "system", Type: "string"},
+				{Name: "scheme", Type: "string"},
+				{Name: "cmrpo", Header: "CMRPO", Type: "percent"},
+				{Name: "eto", Header: "ETO", Type: "percent"},
+			},
+			Meta: o.meta(),
 		}
-		if err := tw.Flush(); err != nil {
+		rep.Meta.Threshold = threshold
+		for _, p := range points {
+			rep.Rows = append(rep.Rows, Row{p.System, p.Scheme, p.CMRPO, p.ETO})
+		}
+		if err := emit(rep); err != nil {
 			return nil, err
 		}
 	}
@@ -147,12 +183,12 @@ type Fig12Point struct {
 	ETO       float64
 }
 
-// Fig12 sweeps the refresh threshold (64K..8K) on the dual-core system
-// with the paper's per-threshold lineups: PRA with matched p, SCA_128
-// (SCA_256 at 8K) and PRCAT/DRCAT with 32/64/64/128 counters.
-func Fig12(w io.Writer, o Options) ([]Fig12Point, error) {
+// fig12Report sweeps the refresh threshold (64K..8K) on the dual-core
+// system with the paper's per-threshold lineups: PRA with matched p,
+// SCA_128 (SCA_256 at 8K) and PRCAT/DRCAT with 32/64/64/128 counters.
+func fig12Report(o Options) ([]Fig12Point, *Report, error) {
 	if err := o.fill(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	catCounters := map[uint32]int{65536: 32, 32768: 64, 16384: 64, 8192: 128}
 	scaCounters := map[uint32]int{65536: 128, 32768: 128, 16384: 128, 8192: 256}
@@ -176,7 +212,7 @@ func Fig12(w io.Writer, o Options) ([]Fig12Point, error) {
 			for wi, name := range o.Workloads {
 				wl, err := trace.Lookup(name)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				cfg := baseConfig(o, wl, spec, threshold)
 				cfg.Seed = o.Seed + uint64(wi)
@@ -189,16 +225,16 @@ func Fig12(w io.Writer, o Options) ([]Fig12Point, error) {
 	}
 	// Progress groups by threshold: four schemes' cells each.
 	var pg *progressGroups
-	if !o.Quiet {
+	if o.Progress != nil && !o.Quiet {
 		perThreshold := len(bars) / len(thresholds) * len(o.Workloads)
 		pg = newProgressGroups(uniform(len(thresholds), perThreshold),
 			func(g int, _ []runner.CellResult) {
-				fmt.Fprintf(w, "  T=%dK done\n", thresholds[g]/1024)
+				fmt.Fprintf(o.Progress, "  T=%dK done\n", thresholds[g]/1024)
 			})
 	}
 	results, err := pg.attach(o.engine()).Grid(o.Context, cells)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n := float64(len(o.Workloads))
 	out := make([]Fig12Point, len(bars))
@@ -212,11 +248,32 @@ func Fig12(w io.Writer, o Options) ([]Fig12Point, error) {
 		out[bi] = Fig12Point{Threshold: b.threshold, Scheme: b.label,
 			CMRPO: sumC / n, ETO: sumE / n}
 	}
-	tw := table(w)
-	fmt.Fprintln(tw, "Fig. 12: CMRPO for refresh thresholds 64K/32K/16K/8K (dual-core/2ch)")
-	fmt.Fprintln(tw, "T\tscheme\tCMRPO\tETO")
-	for _, p := range out {
-		fmt.Fprintf(tw, "%dK\t%s\t%s\t%s\n", p.Threshold/1024, p.Scheme, pct(p.CMRPO), pct(p.ETO))
+	rep := &Report{
+		Name:  "fig12",
+		Title: "Fig. 12: CMRPO for refresh thresholds 64K/32K/16K/8K (dual-core/2ch)",
+		Columns: []Column{
+			{Name: "T", Type: "int"},
+			{Name: "scheme", Type: "string"},
+			{Name: "cmrpo", Header: "CMRPO", Type: "percent"},
+			{Name: "eto", Header: "ETO", Type: "percent"},
+		},
+		Meta: o.meta(),
 	}
-	return out, tw.Flush()
+	for _, p := range out {
+		rep.Rows = append(rep.Rows, Row{
+			annotate(int(p.Threshold), fmt.Sprintf("%dK", p.Threshold/1024)),
+			p.Scheme, p.CMRPO, p.ETO,
+		})
+	}
+	return out, rep, nil
+}
+
+// Fig12 renders the threshold-sensitivity sweep as a text table.
+func Fig12(w io.Writer, o Options) ([]Fig12Point, error) {
+	o.Progress = w
+	points, rep, err := fig12Report(o)
+	if err != nil {
+		return nil, err
+	}
+	return points, rep.renderText(w)
 }

@@ -24,13 +24,27 @@ type Fig13Point struct {
 // kernels (at least two) to bound the sweep.
 const Fig13Kernels = 12
 
-// Fig13 measures the attack study: three blend modes x three refresh
+func init() {
+	Register(Experiment{
+		Name:        "fig13",
+		Description: "ETO of benign workloads under blended kernel attacks (paper Fig. 13, §VIII-D)",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, rep, err := fig13Report(o)
+			if err != nil {
+				return err
+			}
+			return emit(rep)
+		},
+	})
+}
+
+// fig13Report measures the attack study: three blend modes x three refresh
 // thresholds x the counter-based schemes (SCA_128/PRCAT_64/DRCAT_64, with
 // counters doubled at T=8K), averaging ETO over the kernel attacks blended
 // into memory-intensive benign workloads.
-func Fig13(w io.Writer, o Options) ([]Fig13Point, error) {
+func fig13Report(o Options) ([]Fig13Point, *Report, error) {
 	if err := o.fill(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	kernels := Fig13Kernels
 	if o.Scale < 1 {
@@ -38,7 +52,7 @@ func Fig13(w io.Writer, o Options) ([]Fig13Point, error) {
 	}
 	benign := trace.MemoryIntensive()
 	if len(benign) == 0 {
-		return nil, fmt.Errorf("experiments: no memory-intensive workloads")
+		return nil, nil, fmt.Errorf("experiments: no memory-intensive workloads")
 	}
 
 	type bar struct {
@@ -78,16 +92,16 @@ func Fig13(w io.Writer, o Options) ([]Fig13Point, error) {
 	}
 	// Progress groups by threshold: every mode x scheme x kernel cell.
 	var pg *progressGroups
-	if !o.Quiet {
+	if o.Progress != nil && !o.Quiet {
 		perThreshold := len(bars) / len(thresholds) * kernels
 		pg = newProgressGroups(uniform(len(thresholds), perThreshold),
 			func(g int, _ []runner.CellResult) {
-				fmt.Fprintf(w, "  T=%dK done\n", thresholds[g]/1024)
+				fmt.Fprintf(o.Progress, "  T=%dK done\n", thresholds[g]/1024)
 			})
 	}
 	results, err := pg.attach(o.engine()).Grid(o.Context, cells)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([]Fig13Point, len(bars))
 	for bi, b := range bars {
@@ -102,12 +116,33 @@ func Fig13(w io.Writer, o Options) ([]Fig13Point, error) {
 			ETO: sumE / float64(kernels), CMRPO: sumC / float64(kernels),
 		}
 	}
-	tw := table(w)
-	fmt.Fprintln(tw, "Fig. 13: ETO under kernel attacks (Heavy 75%, Medium 50%, Light 25% target rows)")
-	fmt.Fprintln(tw, "T\tmode\tscheme\tETO\tCMRPO")
-	for _, p := range out {
-		fmt.Fprintf(tw, "%dK\t%s\t%s\t%s\t%s\n",
-			p.Threshold/1024, p.Mode, p.Scheme, pct(p.ETO), pct(p.CMRPO))
+	rep := &Report{
+		Name:  "fig13",
+		Title: "Fig. 13: ETO under kernel attacks (Heavy 75%, Medium 50%, Light 25% target rows)",
+		Columns: []Column{
+			{Name: "T", Type: "int"},
+			{Name: "mode", Type: "string"},
+			{Name: "scheme", Type: "string"},
+			{Name: "eto", Header: "ETO", Type: "percent"},
+			{Name: "cmrpo", Header: "CMRPO", Type: "percent"},
+		},
+		Meta: o.meta(),
 	}
-	return out, tw.Flush()
+	for _, p := range out {
+		rep.Rows = append(rep.Rows, Row{
+			annotate(int(p.Threshold), fmt.Sprintf("%dK", p.Threshold/1024)),
+			p.Mode.String(), p.Scheme, p.ETO, p.CMRPO,
+		})
+	}
+	return out, rep, nil
+}
+
+// Fig13 renders the kernel-attack study as a text table.
+func Fig13(w io.Writer, o Options) ([]Fig13Point, error) {
+	o.Progress = w
+	points, rep, err := fig13Report(o)
+	if err != nil {
+		return nil, err
+	}
+	return points, rep.renderText(w)
 }

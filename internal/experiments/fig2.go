@@ -12,6 +12,31 @@ import (
 	"catsim/internal/trace"
 )
 
+func init() {
+	Register(Experiment{
+		Name:        "fig2",
+		Description: "SCA energy-breakdown sweep (M=16..64K) with counter-cache reference lines (paper Fig. 2)",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, rep, err := fig2Report(o)
+			if err != nil {
+				return err
+			}
+			return emit(rep)
+		},
+	})
+	Register(Experiment{
+		Name:        "fig3",
+		Description: "row-access frequency skew in the hottest DRAM bank (paper Fig. 3)",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, rep, err := fig3Report(o)
+			if err != nil {
+				return err
+			}
+			return emit(rep)
+		},
+	})
+}
+
 // Fig2Point is one x-position of Fig. 2: the per-bank, per-interval energy
 // of SCA with M counters, averaged over the workload set.
 type Fig2Point struct {
@@ -21,19 +46,19 @@ type Fig2Point struct {
 	TotalNJ   float64
 }
 
-// Fig2 reproduces the SCA energy-breakdown sweep (M = 16 .. 65536) plus
-// the 2K/8K-entry counter-cache reference lines. Refresh counts come from
-// driving every SCA instance with the same decoded workload streams (no
-// timing needed — Fig. 2 is an energy figure); counter energies come from
-// the Table II model.
-func Fig2(w io.Writer, o Options) ([]Fig2Point, error) {
+// fig2Report reproduces the SCA energy-breakdown sweep (M = 16 .. 65536)
+// plus the 2K/8K-entry counter-cache reference lines. Refresh counts come
+// from driving every SCA instance with the same decoded workload streams
+// (no timing needed — Fig. 2 is an energy figure); counter energies come
+// from the Table II model.
+func fig2Report(o Options) ([]Fig2Point, *Report, error) {
 	if err := o.fill(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	geom := dram.Default2Channel()
 	policy, err := addrmap.NewRowInterleaved(geom)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var ms []int
 	for m := 16; m <= geom.RowsPerBank; m *= 2 {
@@ -87,7 +112,7 @@ func Fig2(w io.Writer, o Options) ([]Fig2Point, error) {
 			return m, nil
 		})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sumAccessesPerBank := 0.0
 	sumRefreshRows := make([]float64, len(ms))
@@ -107,21 +132,39 @@ func Fig2(w io.Writer, o Options) ([]Fig2Point, error) {
 	for i, m := range ms {
 		p, err := energy.SCAEnergy(m, sumAccessesPerBank/nw*rescale, sumRefreshRows[i]/nw)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		points[i] = Fig2Point{M: m, CounterNJ: p.CounterNJ, RefreshNJ: p.RefreshNJ, TotalNJ: p.TotalNJ}
 	}
 
-	tw := table(w)
-	fmt.Fprintln(tw, "Fig. 2: SCA energy overhead per bank per 64 ms interval (nJ)")
-	fmt.Fprintln(tw, "M\tcounters(static+dyn)\trefresh\ttotal")
-	for _, p := range points {
-		fmt.Fprintf(tw, "%d\t%.3e\t%.3e\t%.3e\n", p.M, p.CounterNJ, p.RefreshNJ, p.TotalNJ)
+	rep := &Report{
+		Name:  "fig2",
+		Title: "Fig. 2: SCA energy overhead per bank per 64 ms interval (nJ)",
+		Columns: []Column{
+			{Name: "M", Type: "int", Format: "%d"},
+			{Name: "counters_nj", Header: "counters(static+dyn)", Type: "float", Format: "%.3e"},
+			{Name: "refresh_nj", Header: "refresh", Type: "float", Format: "%.3e"},
+			{Name: "total_nj", Header: "total", Type: "float", Format: "%.3e"},
+		},
+		Meta: o.meta(),
 	}
-	fmt.Fprintf(tw, "2K-entry counter cache (optimistic)\t%.3e\n", energy.CounterCacheStaticNJ(2048))
-	fmt.Fprintf(tw, "8K-entry counter cache (optimistic)\t%.3e\n", energy.CounterCacheStaticNJ(8192))
-	fmt.Fprintf(tw, "total-energy minimum at M=%d (paper: 128)\n", MinTotalM(points))
-	return points, tw.Flush()
+	for _, p := range points {
+		rep.Rows = append(rep.Rows, Row{p.M, p.CounterNJ, p.RefreshNJ, p.TotalNJ})
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("2K-entry counter cache (optimistic)\t%.3e", energy.CounterCacheStaticNJ(2048)),
+		fmt.Sprintf("8K-entry counter cache (optimistic)\t%.3e", energy.CounterCacheStaticNJ(8192)),
+		fmt.Sprintf("total-energy minimum at M=%d (paper: 128)", MinTotalM(points)))
+	return points, rep, nil
+}
+
+// Fig2 renders the SCA energy-breakdown sweep as a text table.
+func Fig2(w io.Writer, o Options) ([]Fig2Point, error) {
+	points, rep, err := fig2Report(o)
+	if err != nil {
+		return nil, err
+	}
+	return points, rep.renderText(w)
 }
 
 // MinTotalM returns the M with the smallest total energy.
@@ -143,18 +186,18 @@ type Fig3Row struct {
 	TopCounts []int64 // access counts of the hottest rows, descending
 }
 
-// Fig3 reproduces the row-access frequency measurement: for blackscholes-
-// and facesim-like workloads, the distribution of per-row activation counts
-// in the hottest bank over one refresh interval, demonstrating that "a
-// small group of rows dominate overall accesses".
-func Fig3(w io.Writer, o Options) ([]Fig3Row, error) {
+// fig3Report reproduces the row-access frequency measurement: for
+// blackscholes- and facesim-like workloads, the distribution of per-row
+// activation counts in the hottest bank over one refresh interval,
+// demonstrating that "a small group of rows dominate overall accesses".
+func fig3Report(o Options) ([]Fig3Row, *Report, error) {
 	if err := o.fill(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	geom := dram.Default2Channel()
 	policy, err := addrmap.NewRowInterleaved(geom)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	names := []string{"black", "face"}
 	out, err := runner.Map(o.Context, o.Parallel, len(names),
@@ -181,17 +224,36 @@ func Fig3(w io.Writer, o Options) ([]Fig3Row, error) {
 			return Fig3Row{Workload: name, Bank: bestBank, Summary: best, TopCounts: top}, nil
 		})
 	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		Name:  "fig3",
+		Title: "Fig. 3: row-access frequency in the hottest DRAM bank (one interval)",
+		Columns: []Column{
+			{Name: "workload", Type: "string"},
+			{Name: "bank", Type: "int", Format: "%d"},
+			{Name: "accesses", Type: "int", Format: "%d"},
+			{Name: "rows_touched", Header: "rows touched", Type: "int", Format: "%d"},
+			{Name: "max_per_row", Header: "max/row", Type: "int", Format: "%d"},
+			{Name: "top16_share", Header: "top-16 share", Type: "percent"},
+			{Name: "top256_share", Header: "top-256 share", Type: "percent"},
+		},
+		Meta: o.meta(),
+	}
+	for _, r := range out {
+		rep.Rows = append(rep.Rows, Row{r.Workload, r.Bank, r.Summary.Total,
+			r.Summary.TouchedRows, r.Summary.MaxPerRow, r.Summary.Top16Frac, r.Summary.Top256Frac})
+	}
+	return out, rep, nil
+}
+
+// Fig3 renders the row-access skew study as a text table.
+func Fig3(w io.Writer, o Options) ([]Fig3Row, error) {
+	rows, rep, err := fig3Report(o)
+	if err != nil {
 		return nil, err
 	}
-	tw := table(w)
-	fmt.Fprintln(tw, "Fig. 3: row-access frequency in the hottest DRAM bank (one interval)")
-	fmt.Fprintln(tw, "workload\tbank\taccesses\trows touched\tmax/row\ttop-16 share\ttop-256 share")
-	for _, r := range out {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%s\n",
-			r.Workload, r.Bank, r.Summary.Total, r.Summary.TouchedRows, r.Summary.MaxPerRow,
-			pct(r.Summary.Top16Frac), pct(r.Summary.Top256Frac))
-	}
-	return out, tw.Flush()
+	return rows, rep.renderText(w)
 }
 
 func topK(rows []int64, k int) []int64 {

@@ -102,49 +102,83 @@ func RunFig8(o Options, threshold uint32, progress io.Writer) (*Fig8Data, error)
 	return data, nil
 }
 
+func init() {
+	Register(Experiment{
+		Name:        "fig8",
+		Description: "per-workload CMRPO matrix for the paper's scheme lineup at T=32K/16K (paper Fig. 8)",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, err := fig89Reports("fig8", o,
+				"Fig. 8: CMRPO (percent of regular refresh power)",
+				func(c Cell) float64 { return c.CMRPO }, emit)
+			return err
+		},
+	})
+	Register(Experiment{
+		Name:        "fig9",
+		Description: "per-workload execution-time overhead from the Fig. 8 runs (paper Fig. 9)",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, err := fig89Reports("fig9", o,
+				"Fig. 9: execution time overhead (ETO)",
+				func(c Cell) float64 { return c.ETO }, emit)
+			return err
+		},
+	})
+}
+
 // Fig8 renders the CMRPO matrix (Fig. 8) for T = 32K and 16K.
 func Fig8(w io.Writer, o Options) (map[uint32]*Fig8Data, error) {
-	return renderFig89(w, o, "Fig. 8: CMRPO (percent of regular refresh power)",
-		func(c Cell) float64 { return c.CMRPO })
+	o.Progress = w
+	return fig89Reports("fig8", o, "Fig. 8: CMRPO (percent of regular refresh power)",
+		func(c Cell) float64 { return c.CMRPO }, textEmit(w))
 }
 
 // Fig9 renders the ETO matrix (Fig. 9) from the same runs.
 func Fig9(w io.Writer, o Options) (map[uint32]*Fig8Data, error) {
-	return renderFig89(w, o, "Fig. 9: execution time overhead (ETO)",
-		func(c Cell) float64 { return c.ETO })
+	o.Progress = w
+	return fig89Reports("fig9", o, "Fig. 9: execution time overhead (ETO)",
+		func(c Cell) float64 { return c.ETO }, textEmit(w))
 }
 
-func renderFig89(w io.Writer, o Options, title string, metric func(Cell) float64) (map[uint32]*Fig8Data, error) {
+// fig89Reports measures both thresholds and emits one report per
+// threshold as it completes, so text rendering interleaves with the
+// sweep's progress lines.
+func fig89Reports(name string, o Options, title string, metric func(Cell) float64, emit func(*Report) error) (map[uint32]*Fig8Data, error) {
 	if err := o.fill(); err != nil {
 		return nil, err
 	}
 	out := map[uint32]*Fig8Data{}
 	for _, threshold := range []uint32{32768, 16384} {
-		data, err := RunFig8(o, threshold, w)
+		data, err := RunFig8(o, threshold, o.Progress)
 		if err != nil {
 			return nil, err
 		}
 		out[threshold] = data
-		tw := table(w)
-		fmt.Fprintf(tw, "%s, T=%dK\n", title, threshold/1024)
-		fmt.Fprint(tw, "workload\tsuite")
-		for _, s := range data.Schemes {
-			fmt.Fprintf(tw, "\t%s", s)
+		rep := &Report{
+			Name:  name,
+			Title: fmt.Sprintf("%s, T=%dK", title, threshold/1024),
+			Columns: []Column{
+				{Name: "workload", Type: "string"},
+				{Name: "suite", Type: "string"},
+			},
+			Meta: o.meta(),
 		}
-		fmt.Fprintln(tw)
-		for wi, name := range o.Workloads {
-			fmt.Fprintf(tw, "%s\t%s", name, suiteOf(name))
+		rep.Meta.Threshold = threshold
+		for _, s := range data.Schemes {
+			rep.Columns = append(rep.Columns, Column{Name: s, Type: "percent"})
+		}
+		for wi, wname := range o.Workloads {
+			row := Row{wname, suiteOf(wname)}
 			for _, s := range data.Schemes {
-				fmt.Fprintf(tw, "\t%s", pct(metric(data.Cells[s][wi])))
+				row = append(row, metric(data.Cells[s][wi]))
 			}
-			fmt.Fprintln(tw)
+			rep.Rows = append(rep.Rows, row)
 		}
-		fmt.Fprint(tw, "Mean\t")
+		mean := Row{"Mean", ""}
 		for _, s := range data.Schemes {
-			fmt.Fprintf(tw, "\t%s", pct(Mean(data.Cells[s], metric)))
+			mean = append(mean, Mean(data.Cells[s], metric))
 		}
-		fmt.Fprintln(tw)
-		if err := tw.Flush(); err != nil {
+		rep.Rows = append(rep.Rows, mean)
+		if err := emit(rep); err != nil {
 			return nil, err
 		}
 	}

@@ -59,23 +59,60 @@ func FigXPatterns() []trace.Pattern {
 // FigXThresholds is the refresh-threshold sweep.
 func FigXThresholds() []uint32 { return []uint32{32768, 16384} }
 
-// FigX measures and renders the protection study. The benign carrier is
-// the first memory-intensive workload of the options' workload set; cells
-// run on the shared worker pool and cache like every other figure (the
-// no-mitigation baseline per threshold × pattern is shared by all six
-// schemes), and rendered bytes are identical at every parallelism.
-func FigX(w io.Writer, o Options) ([]FigXPoint, error) {
-	if w == nil {
-		w = io.Discard // data-only callers
-	}
+func init() {
+	Register(Experiment{
+		Name:        "figx",
+		Description: "beyond-paper overhead-vs-protection study: scheme x threshold x adversarial pattern, oracle-checked (-scheme overrides the lineup)",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, rep, err := figxReport(o)
+			if err != nil {
+				return err
+			}
+			return emit(rep)
+		},
+	})
+}
+
+// figxReport measures the protection study. The benign carrier is the
+// first memory-intensive workload of the options' workload set; cells run
+// on the shared worker pool and cache like every other figure (the
+// no-mitigation baseline per threshold × pattern is shared by all
+// schemes), and rendered bytes are identical at every parallelism. When
+// o.Schemes is set (the CLI's repeatable -scheme flag), those specs
+// replace the default cross-generation lineup, so arbitrary user-defined
+// configurations sweep with zero new code.
+func figxReport(o Options) ([]FigXPoint, *Report, error) {
 	if err := o.fill(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	benign, err := figXBenign(o)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	specs := figXSchemes()
+	// labelFor names a lineup entry. The default lineup uses the figure
+	// labels ("DRCAT_64"); user-supplied specs use their full spec string
+	// (threshold stripped — the sweep supplies it), so two specs that
+	// differ only in a parameter the figure label does not encode (depth,
+	// seed, ways, levels) stay distinguishable in the table and JSON.
+	labelFor := func(i int, threshold uint32) string {
+		return specs[i].Label(threshold)
+	}
+	if len(o.Schemes) > 0 {
+		specs = specs[:0]
+		for _, ms := range o.Schemes {
+			spec, err := sim.FromSpec(ms)
+			if err != nil {
+				return nil, nil, err
+			}
+			specs = append(specs, spec)
+		}
+		labelFor = func(i int, _ uint32) string {
+			ms := o.Schemes[i]
+			ms.Threshold = 0
+			return ms.String()
+		}
+	}
 	thresholds := FigXThresholds()
 	patterns := FigXPatterns()
 
@@ -88,32 +125,32 @@ func FigX(w io.Writer, o Options) ([]FigXPoint, error) {
 	for _, threshold := range thresholds {
 		for _, pattern := range patterns {
 			groups = append(groups, group{threshold, pattern})
-			for _, spec := range specs {
+			for si, spec := range specs {
 				cfg := baseConfig(o, benign, spec, threshold)
 				cfg.Attack = &sim.AttackConfig{Kernel: 0, Mode: trace.Heavy, Pattern: pattern}
 				cfg.CheckProtection = true
 				cells = append(cells, runner.Cell{
-					Tag:    fmt.Sprintf("figx %s/T=%d/%s", spec.Label(threshold), threshold, pattern),
+					Tag:    fmt.Sprintf("figx %s/T=%d/%s", labelFor(si, threshold), threshold, pattern),
 					Config: cfg, Pair: true,
 				})
 			}
 		}
 	}
 	var pg *progressGroups
-	if !o.Quiet {
+	if o.Progress != nil && !o.Quiet {
 		pg = newProgressGroups(uniform(len(groups), len(specs)),
 			func(g int, done []runner.CellResult) {
 				missed := int64(0)
 				for _, r := range done {
 					missed += r.Result.MissedVictimRows
 				}
-				fmt.Fprintf(w, "  T=%dK %s done (%d missed victims across schemes)\n",
+				fmt.Fprintf(o.Progress, "  T=%dK %s done (%d missed victims across schemes)\n",
 					groups[g].threshold/1024, groups[g].pattern, missed)
 			})
 	}
 	results, err := pg.attach(o.engine()).Grid(o.Context, cells)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	out := make([]FigXPoint, len(cells))
@@ -122,7 +159,7 @@ func FigX(w io.Writer, o Options) ([]FigXPoint, error) {
 		out[i] = FigXPoint{
 			Threshold:     g.threshold,
 			Pattern:       g.pattern,
-			Scheme:        specs[i%len(specs)].Label(g.threshold),
+			Scheme:        labelFor(i%len(specs), g.threshold),
 			CMRPO:         r.Result.CMRPO,
 			ETO:           r.ETO,
 			MissedRate:    r.Result.MissedVictimRate,
@@ -132,15 +169,46 @@ func FigX(w io.Writer, o Options) ([]FigXPoint, error) {
 		}
 	}
 
-	tw := table(w)
-	fmt.Fprintf(tw, "Fig. X (beyond the paper): overhead vs protection under adversarial patterns (%s + Heavy attack blend)\n", benign.Name)
-	fmt.Fprintln(tw, "T\tpattern\tscheme\tCMRPO\tETO\tmissed-victim rate\tmissed\tviolations\trows refreshed")
-	for _, p := range out {
-		fmt.Fprintf(tw, "%dK\t%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\n",
-			p.Threshold/1024, p.Pattern, p.Scheme, pct(p.CMRPO), pct(p.ETO),
-			pct(p.MissedRate), p.MissedVictims, p.Violations, p.RowsRefreshed)
+	rep := &Report{
+		Name: "figx",
+		Title: fmt.Sprintf(
+			"Fig. X (beyond the paper): overhead vs protection under adversarial patterns (%s + Heavy attack blend)",
+			benign.Name),
+		Columns: []Column{
+			{Name: "T", Type: "int"},
+			{Name: "pattern", Type: "string"},
+			{Name: "scheme", Type: "string"},
+			{Name: "cmrpo", Header: "CMRPO", Type: "percent"},
+			{Name: "eto", Header: "ETO", Type: "percent"},
+			{Name: "missed_victim_rate", Header: "missed-victim rate", Type: "percent"},
+			{Name: "missed", Type: "int", Format: "%d"},
+			{Name: "violations", Type: "int", Format: "%d"},
+			{Name: "rows_refreshed", Header: "rows refreshed", Type: "int", Format: "%d"},
+		},
+		Meta: o.meta(),
 	}
-	return out, tw.Flush()
+	for _, p := range out {
+		rep.Rows = append(rep.Rows, Row{
+			annotate(int(p.Threshold), fmt.Sprintf("%dK", p.Threshold/1024)),
+			p.Pattern.String(), p.Scheme, p.CMRPO, p.ETO,
+			p.MissedRate, p.MissedVictims, p.Violations, p.RowsRefreshed,
+		})
+	}
+	return out, rep, nil
+}
+
+// FigX renders the protection study as a text table; a nil writer keeps
+// the historical data-only behaviour.
+func FigX(w io.Writer, o Options) ([]FigXPoint, error) {
+	if w == nil {
+		w = io.Discard // data-only callers
+	}
+	o.Progress = w
+	points, rep, err := figxReport(o)
+	if err != nil {
+		return nil, err
+	}
+	return points, rep.renderText(w)
 }
 
 // figXBenign picks the attack carrier: the first memory-intensive workload

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden-file tests lock the text renderer's bytes to the output the
+// hand-written per-figure renderers produced before the Report refactor:
+// every generator, run at a fixed small scale, must reproduce its checked-
+// in testdata/golden/<name>.golden byte for byte — progress lines, table
+// alignment, trailing notes and all. Regenerate deliberately with
+//
+//	go test ./internal/experiments -run TestGoldenText -update
+//
+// after an intentional output change (and eyeball the diff).
+var updateGolden = flag.Bool("update", false, "rewrite the golden files")
+
+func goldenOptions() Options {
+	return Options{Scale: 0.05, Seed: 1, Workloads: []string{"black", "comm1"}}
+}
+
+// goldenGenerators drives every generator through its text wrapper — the
+// same entry points ReproduceAll and the CLI's text format use.
+func goldenGenerators() []struct {
+	name string
+	run  func(w io.Writer) error
+} {
+	o := goldenOptions
+	return []struct {
+		name string
+		run  func(w io.Writer) error
+	}{
+		{"table1", func(w io.Writer) error { return Table1(w) }},
+		{"table2", func(w io.Writer) error { _, err := Table2(w); return err }},
+		{"fig1", func(w io.Writer) error { _, err := Fig1(w); return err }},
+		{"lfsr", func(w io.Writer) error { _, err := LFSRStudy(w, 50); return err }},
+		{"fig2", func(w io.Writer) error { _, err := Fig2(w, o()); return err }},
+		{"fig3", func(w io.Writer) error { _, err := Fig3(w, o()); return err }},
+		{"fig8", func(w io.Writer) error { _, err := Fig8(w, o()); return err }},
+		{"fig9", func(w io.Writer) error { _, err := Fig9(w, o()); return err }},
+		{"fig10", func(w io.Writer) error { _, err := Fig10(w, o()); return err }},
+		{"fig11", func(w io.Writer) error { _, err := Fig11(w, o()); return err }},
+		{"fig12", func(w io.Writer) error { _, err := Fig12(w, o()); return err }},
+		{"fig13", func(w io.Writer) error { _, err := Fig13(w, o()); return err }},
+		{"figx", func(w io.Writer) error { _, err := FigX(w, o()); return err }},
+		{"ablations", func(w io.Writer) error {
+			if _, err := AblationLadders(w, o()); err != nil {
+				return err
+			}
+			if _, err := AblationWeightBits(w, o()); err != nil {
+				return err
+			}
+			if _, err := AblationPreSplit(w, o()); err != nil {
+				return err
+			}
+			_, err := AblationCounterCache(w, o())
+			return err
+		}},
+		{"headlines", func(w io.Writer) error { _, err := Headlines(w, o()); return err }},
+	}
+}
+
+func TestGoldenText(t *testing.T) {
+	skipIfShort(t)
+	for _, g := range goldenGenerators() {
+		t.Run(g.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := g.run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", g.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s",
+					path, firstDiffContext(buf.Bytes(), want), firstDiffContext(want, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// firstDiffContext returns a window of a around its first difference from
+// b, keeping failure output readable for multi-KB tables.
+func firstDiffContext(a, b []byte) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 200
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 200
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return string(a[lo:hi])
+}

@@ -14,14 +14,28 @@ type Headline struct {
 	Note  string
 }
 
-// Headlines evaluates the paper's key comparative claims programmatically
-// and prints a verdict table: the executable form of EXPERIMENTS.md's
-// summary. It runs a compact measurement set at the configured scale
-// (workload subset recommended; the full-table numbers come from the
-// individual figure targets).
-func Headlines(w io.Writer, o Options) ([]Headline, error) {
+func init() {
+	Register(Experiment{
+		Name:        "headlines",
+		Description: "programmatic verdicts on the paper's key comparative claims",
+		Run: func(o Options, emit func(*Report) error) error {
+			_, rep, err := headlinesReport(o)
+			if err != nil {
+				return err
+			}
+			return emit(rep)
+		},
+	})
+}
+
+// headlinesReport evaluates the paper's key comparative claims
+// programmatically and builds a verdict table: the executable form of
+// EXPERIMENTS.md's summary. It runs a compact measurement set at the
+// configured scale (workload subset recommended; the full-table numbers
+// come from the individual figure targets).
+func headlinesReport(o Options) ([]Headline, *Report, error) {
 	if err := o.fill(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []Headline
 	add := func(claim string, pass bool, note string) {
@@ -31,11 +45,11 @@ func Headlines(w io.Writer, o Options) ([]Headline, error) {
 	// 1. Fig. 1 boundary: p=0.001 fails Chipkill at T=32K, p=0.002 passes.
 	u1, err := reliability.Unsurvivability(0.001, 32768, 10, 5)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	u2, err := reliability.Unsurvivability(0.002, 32768, 10, 5)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	add("Eq.1: p=0.001 above Chipkill at T=32K, p=0.002 below",
 		u1 > reliability.ChipkillReference && u2 < reliability.ChipkillReference,
@@ -46,7 +60,7 @@ func Headlines(w io.Writer, o Options) ([]Headline, error) {
 		T: 16384, P: 0.005, Q0: 20, Intervals: 2, Trials: 50, Rotate: 1, SeedBase: 11,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	add("LFSR PRNG destroys PRA's guarantee",
 		lf.FailProb > reliability.ChipkillReference,
@@ -55,7 +69,7 @@ func Headlines(w io.Writer, o Options) ([]Headline, error) {
 	// 3. Fig. 2 U-shape with a small-M minimum.
 	fig2, err := Fig2(io.Discard, o)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	minM := MinTotalM(fig2)
 	add("Fig.2: SCA energy U-shaped, minimum at small M (paper: 128)",
@@ -64,7 +78,7 @@ func Headlines(w io.Writer, o Options) ([]Headline, error) {
 	// 4. Fig. 3 skew.
 	fig3, err := Fig3(io.Discard, o)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	skewOK := len(fig3) == 2
 	for _, r := range fig3 {
@@ -77,7 +91,7 @@ func Headlines(w io.Writer, o Options) ([]Headline, error) {
 	// 5+6. Fig. 8/9 orderings at T=16K.
 	data, err := RunFig8(o, 16384, io.Discard)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	drcat, sca64 := data.MeanCMRPO("DRCAT_64"), data.MeanCMRPO("SCA_64")
 	sca128, pra := data.MeanCMRPO("SCA_128"), data.MeanCMRPO("PRA_0.003")
@@ -93,21 +107,37 @@ func Headlines(w io.Writer, o Options) ([]Headline, error) {
 	// 7. Fig. 8 threshold collapse: SCA roughly doubles from 32K to 16K.
 	data32, err := RunFig8(o, 32768, io.Discard)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ratio := sca64 / data32.MeanCMRPO("SCA_64")
 	add("SCA CMRPO roughly doubles when T halves (paper: 11% -> 22%)",
 		ratio > 1.5, fmt.Sprintf("ratio %.2f", ratio))
 
-	tw := table(w)
-	fmt.Fprintln(tw, "Headline claims (programmatic verdicts)")
-	fmt.Fprintln(tw, "claim\tverdict\tmeasured")
+	rep := &Report{
+		Name:  "headlines",
+		Title: "Headline claims (programmatic verdicts)",
+		Columns: []Column{
+			{Name: "claim", Type: "string"},
+			{Name: "verdict", Type: "string"},
+			{Name: "measured", Type: "string"},
+		},
+		Meta: o.meta(),
+	}
 	for _, h := range out {
 		verdict := "PASS"
 		if !h.Pass {
 			verdict = "FAIL"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\n", h.Claim, verdict, h.Note)
+		rep.Rows = append(rep.Rows, Row{h.Claim, verdict, h.Note})
 	}
-	return out, tw.Flush()
+	return out, rep, nil
+}
+
+// Headlines renders the claim verdicts as a text table.
+func Headlines(w io.Writer, o Options) ([]Headline, error) {
+	out, rep, err := headlinesReport(o)
+	if err != nil {
+		return nil, err
+	}
+	return out, rep.renderText(w)
 }

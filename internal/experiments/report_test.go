@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Name:  "sample",
+		Title: "Sample: a little of everything",
+		Columns: []Column{
+			{Name: "name", Type: "string"},
+			{Name: "count", Type: "int", Format: "%d"},
+			{Name: "ratio", Type: "percent"},
+			{Name: "T", Type: "int"},
+		},
+		Rows: []Row{
+			{"alpha", int64(3), 0.125, annotate(32768, "32K")},
+			{"beta", int64(40), 0.5, annotate(16384, "16K")},
+		},
+		Notes: []string{"note\twith\ttabs"},
+		Meta:  Meta{Scale: 0.25, Seed: 1, Threshold: 32768},
+	}
+}
+
+func TestReportTextRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().renderText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Sample: a little of everything",
+		"name", "count", "ratio",
+		"alpha", "12.50%", "32K",
+		"beta", "50.00%", "16K",
+		"note", "tabs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// tabwriter alignment: every line of the table block shares column
+	// positions; just assert no raw tabs leak through.
+	if strings.Contains(out, "\t") {
+		t.Error("rendered text still contains raw tabs")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows marshal as column-keyed objects with machine values (the
+	// annotated threshold reduces to its number).
+	var probe []map[string]any
+	if err := json.Unmarshal([]byte("["+string(blob)+"]"), &probe); err != nil {
+		t.Fatal(err)
+	}
+	rows := probe[0]["rows"].([]any)
+	first := rows[0].(map[string]any)
+	if first["name"] != "alpha" || first["ratio"] != 0.125 || first["T"] != float64(32768) {
+		t.Errorf("JSON row = %v", first)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Format is a text-rendering detail and deliberately stays off the
+	// wire; everything else round-trips.
+	wantCols := make([]Column, len(rep.Columns))
+	copy(wantCols, rep.Columns)
+	for i := range wantCols {
+		wantCols[i].Format = ""
+	}
+	if back.Name != rep.Name || back.Title != rep.Title || !reflect.DeepEqual(back.Columns, wantCols) {
+		t.Errorf("round trip lost header fields: %+v", back)
+	}
+	if len(back.Rows) != 2 {
+		t.Fatalf("rows = %d", len(back.Rows))
+	}
+	// int-typed columns decode back to int64.
+	if back.Rows[0][1] != int64(3) || back.Rows[0][3] != int64(32768) {
+		t.Errorf("decoded row = %#v", back.Rows[0])
+	}
+	if !reflect.DeepEqual(back.Meta, rep.Meta) {
+		t.Errorf("meta round trip: %+v != %+v", back.Meta, rep.Meta)
+	}
+}
+
+func TestCSVRenderer(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewCSVRenderer(&buf)
+	if err := r.Report(sampleReport()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Report(sampleReport()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantLines := []string{
+		"# sample: Sample: a little of everything",
+		"name,count,ratio,T",
+		"alpha,3,0.125,32768",
+		"beta,40,0.5,16384",
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# sample:"); got != 2 {
+		t.Errorf("expected 2 CSV blocks, found %d", got)
+	}
+	if !strings.Contains(out, "\n\n# sample:") {
+		t.Error("CSV blocks should be blank-line separated")
+	}
+}
+
+func TestJSONRendererStreamsToArray(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewJSONRenderer(&buf)
+	if err := r.Report(sampleReport()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var reports []Report
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("decode []Report: %v\n%s", err, buf.String())
+	}
+	if len(reports) != 1 || reports[0].Name != "sample" {
+		t.Errorf("reports = %+v", reports)
+	}
+	// Empty stream must still be a valid (empty) array.
+	buf.Reset()
+	if err := NewJSONRenderer(&buf).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty stream = %q, want []", buf.String())
+	}
+}

@@ -177,3 +177,16 @@ func (a *ABACuS) OnIntervalBoundary() {
 
 // Counts implements Scheme.
 func (a *ABACuS) Counts() Counts { return a.counts }
+
+func init() {
+	Register(KindABACuS, Builder{
+		Params: []ParamDef{{Name: "counters", Doc: "shared Misra-Gries entries across all banks"}},
+		Build: func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error) {
+			entries, err := spec.Params.Int("counters", 0)
+			if err != nil {
+				return nil, err
+			}
+			return NewABACuS(banks, rowsPerBank, entries, spec.Threshold)
+		},
+	})
+}

@@ -95,3 +95,47 @@ func (c *CAT) MaxTreeDepth() int {
 	}
 	return max
 }
+
+// catBuilder adapts NewCAT to the spec registry for one tree policy.
+func catBuilder(policy core.Policy) Builder {
+	return Builder{
+		Params: []ParamDef{
+			{Name: "counters", Doc: "tree counters per bank M"},
+			{Name: "levels", Doc: "maximum tree levels L (default 11)"},
+			{Name: "weightbits", Doc: "DRCAT weight-register width (default 2)"},
+			{Name: "presplit", Doc: "pre-split depth lambda (default log2 M)"},
+		},
+		Build: func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error) {
+			m, err := spec.Params.Int("counters", 0)
+			if err != nil {
+				return nil, err
+			}
+			levels, err := spec.Params.Int("levels", 11)
+			if err != nil {
+				return nil, err
+			}
+			weightBits, err := spec.Params.Int("weightbits", 0)
+			if err != nil {
+				return nil, err
+			}
+			preSplit, err := spec.Params.Int("presplit", 0)
+			if err != nil {
+				return nil, err
+			}
+			return NewCAT(banks, core.Config{
+				Rows:             rowsPerBank,
+				Counters:         m,
+				MaxLevels:        levels,
+				RefreshThreshold: spec.Threshold,
+				Policy:           policy,
+				WeightBits:       weightBits,
+				PreSplit:         preSplit,
+			})
+		},
+	}
+}
+
+func init() {
+	Register(KindPRCAT, catBuilder(core.PRCAT))
+	Register(KindDRCAT, catBuilder(core.DRCAT))
+}

@@ -138,3 +138,28 @@ func (c *CoMeT) OnIntervalBoundary() {
 
 // Counts implements Scheme.
 func (c *CoMeT) Counts() Counts { return c.counts }
+
+func init() {
+	Register(KindCoMeT, Builder{
+		Params: []ParamDef{
+			{Name: "counters", Doc: "sketch counters per bank"},
+			{Name: "depth", Doc: "sketch hash rows (default 4)"},
+			{Name: "seed", Doc: "per-bank hash seed (default 1)"},
+		},
+		Build: func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error) {
+			counters, err := spec.Params.Int("counters", 0)
+			if err != nil {
+				return nil, err
+			}
+			depth, err := spec.Params.Int("depth", 4)
+			if err != nil {
+				return nil, err
+			}
+			seed, err := spec.Params.Uint64("seed", 1)
+			if err != nil {
+				return nil, err
+			}
+			return NewCoMeT(banks, rowsPerBank, spec.Threshold, counters, depth, seed)
+		},
+	})
+}

@@ -146,3 +146,23 @@ func (cc *CounterCache) OnIntervalBoundary() {
 
 // Counts implements Scheme.
 func (cc *CounterCache) Counts() Counts { return cc.counts }
+
+func init() {
+	Register(KindCounterCache, Builder{
+		Params: []ParamDef{
+			{Name: "counters", Doc: "on-chip cache entries per bank"},
+			{Name: "ways", Doc: "cache associativity (default 8)"},
+		},
+		Build: func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error) {
+			entries, err := spec.Params.Int("counters", 0)
+			if err != nil {
+				return nil, err
+			}
+			ways, err := spec.Params.Int("ways", 8)
+			if err != nil {
+				return nil, err
+			}
+			return NewCounterCache(banks, rowsPerBank, spec.Threshold, entries, ways)
+		},
+	})
+}

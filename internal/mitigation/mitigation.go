@@ -202,3 +202,9 @@ func clampRange(lo, hi, rows int) RefreshRange {
 	}
 	return RefreshRange{Lo: lo, Hi: hi}
 }
+
+func init() {
+	Register(KindNone, Builder{
+		Build: func(SchemeSpec, int, int) (Scheme, error) { return NewNone(), nil },
+	})
+}

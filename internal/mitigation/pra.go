@@ -98,3 +98,26 @@ func PRAProbabilityForThreshold(t uint32) float64 {
 		return 0.005
 	}
 }
+
+func init() {
+	Register(KindPRA, Builder{
+		Params: []ParamDef{
+			{Name: "p", Doc: "refresh probability per activation (default: the paper's value for the threshold)"},
+			{Name: "seed", Doc: "PRNG seed (default 1)"},
+		},
+		Build: func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error) {
+			p, err := spec.Params.Float("p", 0)
+			if err != nil {
+				return nil, err
+			}
+			if p == 0 {
+				p = PRAProbabilityForThreshold(spec.Threshold)
+			}
+			seed, err := spec.Params.Uint64("seed", 1)
+			if err != nil {
+				return nil, err
+			}
+			return NewPRA(rowsPerBank, p, rng.NewXoshiro256(seed))
+		},
+	})
+}

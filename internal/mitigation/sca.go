@@ -88,3 +88,16 @@ func (s *SCA) OnIntervalBoundary() {
 
 // Counts implements Scheme.
 func (s *SCA) Counts() Counts { return s.counts }
+
+func init() {
+	Register(KindSCA, Builder{
+		Params: []ParamDef{{Name: "counters", Doc: "group counters per bank M"}},
+		Build: func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error) {
+			m, err := spec.Params.Int("counters", 0)
+			if err != nil {
+				return nil, err
+			}
+			return NewSCA(banks, rowsPerBank, m, spec.Threshold)
+		},
+	})
+}

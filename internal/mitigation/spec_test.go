@@ -1,0 +1,194 @@
+package mitigation
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// specFixtures returns one representative spec per registered kind; the
+// round-trip test fails if a newly registered kind has no fixture here.
+func specFixtures() map[Kind]SchemeSpec {
+	return map[Kind]SchemeSpec{
+		KindNone: {Kind: KindNone},
+		KindSCA:  {Kind: KindSCA, Threshold: 32768, Params: Params{"counters": "64"}},
+		KindPRA:  {Kind: KindPRA, Threshold: 16384, Params: Params{"p": "0.003", "seed": "7"}},
+		KindPRCAT: {Kind: KindPRCAT, Threshold: 32768,
+			Params: Params{"counters": "64", "levels": "11"}},
+		KindDRCAT: {Kind: KindDRCAT, Threshold: 16384,
+			Params: Params{"counters": "64", "levels": "11", "weightbits": "2", "presplit": "6"}},
+		KindCounterCache: {Kind: KindCounterCache, Threshold: 16384,
+			Params: Params{"counters": "1024", "ways": "8"}},
+		KindCoMeT: {Kind: KindCoMeT, Threshold: 32768,
+			Params: Params{"counters": "512", "depth": "4", "seed": "18446744073709551615"}},
+		KindABACuS: {Kind: KindABACuS, Threshold: 32768, Params: Params{"counters": "1024"}},
+		KindStochastic: {Kind: KindStochastic, Threshold: 16384,
+			Params: Params{"counters": "64", "seed": "9"}},
+	}
+}
+
+func TestSpecStringAndJSONRoundTripEveryKind(t *testing.T) {
+	fixtures := specFixtures()
+	for _, k := range Kinds() {
+		spec, ok := fixtures[k]
+		if !ok {
+			t.Errorf("kind %v has no round-trip fixture; add one", k)
+			continue
+		}
+		str := spec.String()
+		parsed, err := ParseSpec(str)
+		if err != nil {
+			t.Errorf("%v: ParseSpec(%q): %v", k, str, err)
+			continue
+		}
+		if !reflect.DeepEqual(parsed, spec) {
+			t.Errorf("%v: string round trip %q -> %+v, want %+v", k, str, parsed, spec)
+		}
+		blob, err := json.Marshal(spec)
+		if err != nil {
+			t.Errorf("%v: marshal: %v", k, err)
+			continue
+		}
+		var back SchemeSpec
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Errorf("%v: unmarshal %s: %v", k, blob, err)
+			continue
+		}
+		if !reflect.DeepEqual(back, spec) {
+			t.Errorf("%v: JSON round trip %s -> %+v, want %+v", k, blob, back, spec)
+		}
+	}
+}
+
+func TestSpecBuildEveryKind(t *testing.T) {
+	for k, spec := range specFixtures() {
+		s, err := Build(spec, 4, 1<<14)
+		if err != nil {
+			t.Errorf("%v: Build(%q): %v", k, spec.String(), err)
+			continue
+		}
+		if s.Kind() != k {
+			t.Errorf("%v: built scheme reports kind %v", k, s.Kind())
+		}
+	}
+}
+
+func TestSpecStringForm(t *testing.T) {
+	spec := SchemeSpec{Kind: KindCoMeT, Threshold: 32768,
+		Params: Params{"depth": "4", "counters": "512"}}
+	// threshold first, then params sorted.
+	if got, want := spec.String(), "comet:threshold=32768,counters=512,depth=4"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := (SchemeSpec{Kind: KindNone}).String(), "none"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr string
+	}{
+		{"bogus:counters=1", "unknown scheme kind"},
+		{"", "unknown scheme kind"},
+		{"sca:bogus=1", `unknown param "bogus"`},
+		{"sca:counters=abc", "want number"},
+		{"sca:counters=1,counters=2", "duplicate param"},
+		{"sca:counters", "not name=value"},
+		{"sca:threshold=notanum", "bad threshold"},
+		{"comet:threshold=99999999999", "bad threshold"}, // > uint32
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): expected error", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ParseSpec(%q) error %q, want it to mention %q", c.in, err, c.wantErr)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	// Missing threshold (every kind but None requires one).
+	spec, err := ParseSpec("sca:counters=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(spec, 4, 1024); err == nil || !strings.Contains(err.Error(), "missing threshold") {
+		t.Errorf("Build without threshold: %v, want missing-threshold error", err)
+	}
+	// Unknown kind.
+	if _, err := Build(SchemeSpec{Kind: Kind(99), Threshold: 1024}, 4, 1024); err == nil ||
+		!strings.Contains(err.Error(), "unknown scheme kind") {
+		t.Errorf("Build with invalid kind: %v", err)
+	}
+	// Bad param value smuggled past parse (hand-built spec).
+	bad := SchemeSpec{Kind: KindSCA, Threshold: 1024, Params: Params{"counters": "abc"}}
+	if _, err := Build(bad, 4, 1024); err == nil || !strings.Contains(err.Error(), "want integer") {
+		t.Errorf("Build with bad param: %v", err)
+	}
+	// Unknown param name on a hand-built spec.
+	unk := SchemeSpec{Kind: KindSCA, Threshold: 1024, Params: Params{"depth": "4"}}
+	if _, err := Build(unk, 4, 1024); err == nil || !strings.Contains(err.Error(), "unknown param") {
+		t.Errorf("Build with unknown param: %v", err)
+	}
+	// Builder-level validation still fires (CoMeT counters %% depth != 0).
+	comet := SchemeSpec{Kind: KindCoMeT, Threshold: 1024,
+		Params: Params{"counters": "10", "depth": "4"}}
+	if _, err := Build(comet, 4, 1024); err == nil {
+		t.Error("Build with indivisible CoMeT counters should fail")
+	}
+}
+
+func TestParseKindAliases(t *testing.T) {
+	cases := map[string]Kind{
+		"cc": KindCounterCache, "CC": KindCounterCache,
+		"dsac": KindStochastic, "DSAC": KindStochastic,
+		"CoMeT": KindCoMeT, "comet": KindCoMeT,
+		"abacus": KindABACuS, "DRCAT": KindDRCAT, "none": KindNone,
+	}
+	for in, want := range cases {
+		k, err := ParseKind(in)
+		if err != nil || k != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", in, k, err, want)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Errorf("ParseKind(nope) should list valid kinds, got %v", err)
+	}
+}
+
+func TestSpecFlagValue(t *testing.T) {
+	var list SpecList
+	if err := list.Set("comet:counters=512,depth=4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := list.Set("drcat:counters=64"); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].Kind != KindCoMeT || list[1].Kind != KindDRCAT {
+		t.Fatalf("SpecList = %+v", list)
+	}
+	if err := list.Set("sca:bogus=1"); err == nil {
+		t.Error("SpecList.Set must reject bad specs")
+	}
+	var single SchemeSpec
+	if err := single.Set("abacus:threshold=32768,counters=1024"); err != nil {
+		t.Fatal(err)
+	}
+	if single.Kind != KindABACuS || single.Threshold != 32768 {
+		t.Fatalf("SchemeSpec.Set = %+v", single)
+	}
+}
+
+func TestEveryKindHasBuilder(t *testing.T) {
+	for _, k := range Kinds() {
+		if _, ok := BuilderFor(k); !ok {
+			t.Errorf("kind %v has no registered builder", k)
+		}
+	}
+}

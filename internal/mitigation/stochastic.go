@@ -94,3 +94,23 @@ func (s *Stochastic) OnIntervalBoundary() {
 
 // Counts implements Scheme.
 func (s *Stochastic) Counts() Counts { return s.counts }
+
+func init() {
+	Register(KindStochastic, Builder{
+		Params: []ParamDef{
+			{Name: "counters", Doc: "exact counters per bank"},
+			{Name: "seed", Doc: "replace-minimum PRNG seed (default 1)"},
+		},
+		Build: func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error) {
+			m, err := spec.Params.Int("counters", 0)
+			if err != nil {
+				return nil, err
+			}
+			seed, err := spec.Params.Uint64("seed", 1)
+			if err != nil {
+				return nil, err
+			}
+			return NewStochastic(banks, rowsPerBank, m, spec.Threshold, rng.NewXoshiro256(seed))
+		},
+	})
+}

@@ -13,18 +13,20 @@ import (
 	"fmt"
 
 	"catsim/internal/addrmap"
-	"catsim/internal/core"
+
 	"catsim/internal/cpu"
 	"catsim/internal/dram"
 	"catsim/internal/energy"
 	"catsim/internal/memctrl"
 	"catsim/internal/mitigation"
-	"catsim/internal/rng"
+
 	"catsim/internal/trace"
 )
 
 // SchemeSpec is a buildable description of a mitigation scheme, the unit
-// the experiment harness iterates over.
+// the experiment harness iterates over. It is the grid-friendly flat form
+// of mitigation.SchemeSpec: Spec converts to the serializable registry
+// spec, FromSpec converts back, and Build goes through the registry.
 type SchemeSpec struct {
 	Kind mitigation.Kind
 	// Counters is the scheme's counter budget: per bank for SCA groups,
@@ -34,6 +36,10 @@ type SchemeSpec struct {
 	MaxLevels int     // CAT tree depth L
 	PRAProb   float64 // PRA only; 0 selects the paper's p for the threshold
 	Ways      int     // counter cache associativity (8) / CoMeT sketch depth (4)
+	// SpecSeed, when non-zero, seeds the scheme's private PRNG streams
+	// directly (a user-supplied "seed=" spec param); zero derives them
+	// from the run seed as always.
+	SpecSeed uint64
 }
 
 // Label returns the figure label ("DRCAT_64", "PRA_0.002", ...).
@@ -62,52 +68,108 @@ func kindShort(k mitigation.Kind) string {
 	return k.String()
 }
 
-// Build instantiates the scheme for a system with the given banks and rows
-// per bank at the given refresh threshold.
-func (s SchemeSpec) Build(banks, rowsPerBank int, threshold uint32, seed uint64) (mitigation.Scheme, error) {
+// Seed-stream separators: each scheme family with a private PRNG derives
+// it from the run seed xor a family constant, so a run's scheme stream,
+// workload streams and any sibling schemes never share state.
+const (
+	praSeedMix   = 0x9e3779b97f4a7c15
+	cometSeedMix = 0xC0337C0337
+	dsacSeedMix  = 0xD5AC0D5AC0
+)
+
+// Spec converts the grid unit into the serializable registry spec for one
+// refresh threshold, threading the run seed into the per-family PRNG
+// streams (SpecSeed overrides it verbatim when a user pinned "seed=").
+func (s SchemeSpec) Spec(threshold uint32, seed uint64) mitigation.SchemeSpec {
+	spec := mitigation.SchemeSpec{Kind: s.Kind, Threshold: threshold, Params: mitigation.Params{}}
+	schemeSeed := func(mix uint64) uint64 {
+		if s.SpecSeed != 0 {
+			return s.SpecSeed
+		}
+		return seed ^ mix
+	}
 	switch s.Kind {
 	case mitigation.KindNone:
-		return mitigation.NewNone(), nil
-	case mitigation.KindSCA:
-		return mitigation.NewSCA(banks, rowsPerBank, s.Counters, threshold)
+		return mitigation.SchemeSpec{Kind: mitigation.KindNone}
+	case mitigation.KindSCA, mitigation.KindABACuS:
+		spec.Params.SetInt("counters", s.Counters)
 	case mitigation.KindPRA:
-		p := s.PRAProb
-		if p == 0 {
-			p = mitigation.PRAProbabilityForThreshold(threshold)
+		if s.PRAProb != 0 {
+			spec.Params.SetFloat("p", s.PRAProb)
 		}
-		return mitigation.NewPRA(rowsPerBank, p, rng.NewXoshiro256(seed^0x9e3779b97f4a7c15))
+		spec.Params.SetUint64("seed", schemeSeed(praSeedMix))
 	case mitigation.KindPRCAT, mitigation.KindDRCAT:
-		policy := core.PRCAT
-		if s.Kind == mitigation.KindDRCAT {
-			policy = core.DRCAT
-		}
-		return mitigation.NewCAT(banks, core.Config{
-			Rows:             rowsPerBank,
-			Counters:         s.Counters,
-			MaxLevels:        s.MaxLevels,
-			RefreshThreshold: threshold,
-			Policy:           policy,
-		})
+		spec.Params.SetInt("counters", s.Counters)
+		spec.Params.SetInt("levels", s.MaxLevels)
 	case mitigation.KindCounterCache:
-		ways := s.Ways
-		if ways == 0 {
-			ways = 8
+		spec.Params.SetInt("counters", s.Counters)
+		if s.Ways != 0 {
+			spec.Params.SetInt("ways", s.Ways)
 		}
-		return mitigation.NewCounterCache(banks, rowsPerBank, threshold, s.Counters, ways)
 	case mitigation.KindCoMeT:
-		depth := s.Ways
-		if depth == 0 {
-			depth = 4
+		spec.Params.SetInt("counters", s.Counters)
+		if s.Ways != 0 {
+			spec.Params.SetInt("depth", s.Ways)
 		}
-		return mitigation.NewCoMeT(banks, rowsPerBank, threshold, s.Counters, depth,
-			seed^0xC0337C0337)
-	case mitigation.KindABACuS:
-		return mitigation.NewABACuS(banks, rowsPerBank, s.Counters, threshold)
+		spec.Params.SetUint64("seed", schemeSeed(cometSeedMix))
 	case mitigation.KindStochastic:
-		return mitigation.NewStochastic(banks, rowsPerBank, s.Counters, threshold,
-			rng.NewXoshiro256(seed^0xD5AC0D5AC0))
+		spec.Params.SetInt("counters", s.Counters)
+		spec.Params.SetUint64("seed", schemeSeed(dsacSeedMix))
 	}
-	return nil, fmt.Errorf("sim: unknown scheme kind %v", s.Kind)
+	return spec
+}
+
+// FromSpec converts a registry spec into the grid unit. Parameters with no
+// flat-field equivalent (the CAT ablation knobs weightbits/presplit) are
+// rejected: they are buildable through mitigation.Build but cannot ride a
+// simulation grid cell.
+func FromSpec(spec mitigation.SchemeSpec) (SchemeSpec, error) {
+	s := SchemeSpec{Kind: spec.Kind}
+	for name := range spec.Params {
+		switch name {
+		case "counters", "levels", "ways", "depth", "p", "seed":
+		default:
+			return s, fmt.Errorf("sim: spec %q: param %q not supported in experiment grids", spec.String(), name)
+		}
+	}
+	var err error
+	if s.Counters, err = spec.Params.Int("counters", 0); err != nil {
+		return s, err
+	}
+	defaultLevels := 0
+	if spec.Kind == mitigation.KindPRCAT || spec.Kind == mitigation.KindDRCAT {
+		defaultLevels = 11
+	}
+	if s.MaxLevels, err = spec.Params.Int("levels", defaultLevels); err != nil {
+		return s, err
+	}
+	if s.Ways, err = spec.Params.Int("ways", 0); err != nil {
+		return s, err
+	}
+	if s.Ways == 0 {
+		if s.Ways, err = spec.Params.Int("depth", 0); err != nil {
+			return s, err
+		}
+	}
+	if s.PRAProb, err = spec.Params.Float("p", 0); err != nil {
+		return s, err
+	}
+	if s.SpecSeed, err = spec.Params.Uint64("seed", 0); err != nil {
+		return s, err
+	}
+	if _, pinned := spec.Params["seed"]; pinned && s.SpecSeed == 0 {
+		// 0 is the derive-from-run-seed sentinel; silently dropping an
+		// explicit seed=0 pin would make "pinned" runs vary with -seed.
+		return s, fmt.Errorf("sim: spec %q: pinned seed must be nonzero", spec.String())
+	}
+	return s, nil
+}
+
+// Build instantiates the scheme for a system with the given banks and rows
+// per bank at the given refresh threshold, via the mitigation builder
+// registry.
+func (s SchemeSpec) Build(banks, rowsPerBank int, threshold uint32, seed uint64) (mitigation.Scheme, error) {
+	return mitigation.Build(s.Spec(threshold, seed), banks, rowsPerBank)
 }
 
 // Config describes one simulation run.
