@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-sketch repro golden golden-check
+.PHONY: all build fmt vet lint test race bench bench-sketch bench-engine repro golden golden-check
 
 all: build fmt vet test
 
@@ -44,6 +44,16 @@ bench:
 # future PRs can compare the approximate-counting hot path.
 bench-sketch:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -json ./internal/sketch > BENCH_sketch.json
+
+# Engine hot-path benchmark trajectory: ns/request and allocs/request for
+# the epoch engine and its heap-vs-linear core schedulers at 2–256 cores.
+# CI uploads BENCH_engine.json; the steady-state alloc *gate* is
+# TestSteadyStateZeroAllocs in `make test`, which fails the build on any
+# per-request allocation. Raise BENCH_ENGINE_TIME (e.g. 100x) for stable
+# local numbers.
+BENCH_ENGINE_TIME ?= 1x
+bench-engine:
+	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCH_ENGINE_TIME) -json ./internal/engine > BENCH_engine.json
 
 # Full reproduction of the paper's tables and figures at default scale,
 # all cores, shared result cache.

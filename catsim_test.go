@@ -165,6 +165,7 @@ func TestReproduceAllCoversRegistry(t *testing.T) {
 		"fig12":     "Fig. 12:",
 		"fig13":     "Fig. 13:",
 		"figx":      "Fig. X",
+		"figt":      "Fig. T",
 		"ablations": "Ablation:",
 		"headlines": "Headline claims",
 	}

@@ -26,6 +26,11 @@
 // byte-identical at every setting. One result cache is shared across all
 // requested targets (-cache=false disables it), so fig9 reuses fig8's
 // paired runs and each no-mitigation baseline runs exactly once.
+//
+// -cpuprofile and -memprofile write pprof profiles (CPU during the run,
+// heap at exit), making the engine hot path measurable:
+//
+//	experiments -cpuprofile cpu.pprof -q fig8 && go tool pprof cpu.pprof
 package main
 
 import (
@@ -37,6 +42,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -53,8 +60,9 @@ func main() {
 	os.Exit(code)
 }
 
-// run is the testable CLI body; it returns the process exit code.
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+// run is the testable CLI body; it returns the process exit code (named
+// so the deferred -memprofile writer can fail the run).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -69,6 +77,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		format      = fs.String("format", "text", "output format: text, json or csv")
 		list        = fs.Bool("list", false, "list registered experiments and exit")
 		checkReport = fs.String("validate-json", "", "decode a -format json output `file` as []Report and exit")
+		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile to `file`")
+		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to `file` on exit")
 		schemes     mitigation.SpecList
 	)
 	fs.Var(&schemes, "scheme",
@@ -78,6 +88,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 		return 2
+	}
+
+	// Profiling hooks: the engine hot path is measured by running e.g.
+	//
+	//	experiments -cpuprofile cpu.pprof -q fig8
+	//
+	// and inspecting with `go tool pprof`. Stops/writes fire on every
+	// return path via defer.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			err := writeHeapProfile(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "experiments:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	if *list {
@@ -168,6 +212,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			len(o.Cache.Runs()), o.Cache.Hits())
 	}
 	return 0
+}
+
+// writeHeapProfile snapshots the final live set into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialise the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // validateJSON decodes a -format json output file into []Report — the CI

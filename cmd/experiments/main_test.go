@@ -160,3 +160,63 @@ func TestSchemeFlagSweepsFigx(t *testing.T) {
 		}
 	}
 }
+
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, _, stderr := runCLI(t, "-cpuprofile", cpu, "-memprofile", mem, "table1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, stderr)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestCPUProfileBadPathExitsOne(t *testing.T) {
+	code, _, stderr := runCLI(t, "-cpuprofile", filepath.Join(t.TempDir(), "no", "dir", "cpu.pprof"), "table1")
+	if code != 1 || stderr == "" {
+		t.Errorf("exit = %d stderr %q, want 1 with an error", code, stderr)
+	}
+}
+
+func TestFigtTimeSeriesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations; skipped with -short")
+	}
+	code, stdout, stderr := runCLI(t,
+		"-q", "-scale", "0.02", "-workloads", "black", "-format", "json", "figt")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, stderr)
+	}
+	var reports []experiments.Report
+	if err := json.Unmarshal([]byte(stdout), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Name != "figt" {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if len(reports[0].Rows) == 0 {
+		t.Fatal("figt emitted no epoch rows")
+	}
+	// Rows are column-keyed objects; every row carries an epoch index and
+	// timestamp the jq examples in the README rely on.
+	first := reports[0].Rows[0]
+	if len(first) != len(reports[0].Columns) {
+		t.Errorf("row width %d != %d columns", len(first), len(reports[0].Columns))
+	}
+}
+
+func TestMemProfileBadPathExitsOne(t *testing.T) {
+	code, _, stderr := runCLI(t, "-memprofile", filepath.Join(t.TempDir(), "no", "dir", "mem.pprof"), "table1")
+	if code != 1 || stderr == "" {
+		t.Errorf("exit = %d stderr %q, want 1 with an error", code, stderr)
+	}
+}

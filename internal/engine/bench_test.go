@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Scheduler micro-benchmarks: the standing measurement behind the
+// min-heap refactor. Each iteration is one pick + clock advance — the
+// per-request scheduling work — over core counts spanning the paper's
+// dual-core baseline to the 256-core scenario sweeps the ROADMAP targets.
+// `make bench-engine` snapshots these into BENCH_engine.json; at ≥ 64
+// cores the heap must beat the linear scan.
+
+func benchScheduler(b *testing.B, mk func(int) scheduler, cores int) {
+	sched := mk(cores)
+	now := make([]int64, cores)
+	// Pre-draw xorshift deltas; small values force frequent ties so the
+	// index tie-break stays on the measured path.
+	var deltas [4096]int64
+	state := uint64(0x243f6a8885a308d3)
+	for i := range deltas {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		deltas[i] = int64(state % 64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := sched.pick()
+		now[c] += deltas[i&4095]
+		sched.update(c, now[c])
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	for _, cores := range []int{2, 8, 64, 256} {
+		b.Run(fmt.Sprintf("heap/%dcores", cores), func(b *testing.B) {
+			benchScheduler(b, func(n int) scheduler { return newHeapScheduler(n) }, cores)
+		})
+		b.Run(fmt.Sprintf("linear/%dcores", cores), func(b *testing.B) {
+			benchScheduler(b, func(n int) scheduler { return newLinearScheduler(n) }, cores)
+		})
+	}
+}
+
+// BenchmarkEngineRun measures the full request loop end to end —
+// controller, scheme, generator and scheduler together — reporting
+// ns/request so runs at different core counts compare directly.
+func BenchmarkEngineRun(b *testing.B) {
+	for _, cfg := range []struct {
+		cores  int
+		linear bool
+	}{
+		{2, false},
+		{64, false},
+		{64, true},
+		{256, false},
+	} {
+		name := fmt.Sprintf("heap/%dcores", cfg.cores)
+		if cfg.linear {
+			name = fmt.Sprintf("linear/%dcores", cfg.cores)
+		}
+		b.Run(name, func(b *testing.B) {
+			const reqPerCore = 2000
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h := makeHarness(b, cfg.cores, reqPerCore, 512, cfg.linear, 0)
+				b.StartTimer()
+				if _, err := Run(h.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(
+				float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(cfg.cores)*reqPerCore),
+				"ns/request")
+		})
+	}
+}
+
+// BenchmarkEngineAllocsPerRequest emits the allocs/request trajectory the
+// CI artifact tracks: the differential between two run lengths, which
+// cancels setup allocations and must stay at zero (the alloc-gate test
+// fails the build otherwise).
+func BenchmarkEngineAllocsPerRequest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := allocsForRun(b, 2000)
+		large := allocsForRun(b, 12000)
+		b.ReportMetric((large-small)/(2*10000), "allocs/request")
+	}
+	b.ReportMetric(0, "ns/op") // the timing of this meta-benchmark is meaningless
+}

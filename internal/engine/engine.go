@@ -1,0 +1,323 @@
+// Package engine is the epoch-driven simulation core carved out of
+// sim.Run: it advances a set of cores through their request streams in
+// causal order via a min-heap event scheduler (O(log cores) per request),
+// drives the memory controller and the crosstalk-mitigation scheme, and —
+// when an epoch length is configured — slices the run into fixed-duration
+// epochs, snapshotting per-epoch metrics (activations, victim refreshes,
+// read latency, tracking-structure occupancy via mitigation.Snapshotter,
+// oracle-measured missed victims) without perturbing the simulation.
+//
+// The engine is observationally equivalent to the historical inline loop:
+// the scheduler picks the core with the smallest (clock, index) key
+// exactly as the linear scan did, epoch sampling is a pure read of scheme
+// and controller statistics, and the steady-state request path performs no
+// allocations (locked by the engine's alloc-gate test and benchmarked by
+// `make bench-engine`). sim.Run is a thin wrapper over Run; experiments
+// consume the per-epoch Samples through sim.Result.Epochs.
+package engine
+
+import (
+	"fmt"
+
+	"catsim/internal/addrmap"
+	"catsim/internal/cpu"
+	"catsim/internal/dram"
+	"catsim/internal/memctrl"
+	"catsim/internal/mitigation"
+	"catsim/internal/trace"
+)
+
+// CoreSlot couples one core's front end with its request stream and
+// budget.
+type CoreSlot struct {
+	CPU *cpu.Core
+	Gen trace.Generator
+	// Requests is the number of requests the core issues before retiring.
+	Requests int
+}
+
+// Config wires pre-built components into one engine run. The engine owns
+// the event loop only: callers construct (and afterwards interrogate) the
+// controller, scheme and oracle themselves.
+type Config struct {
+	Cores    []CoreSlot
+	Ctrl     *memctrl.Controller
+	Policy   addrmap.Policy
+	Geometry dram.Geometry
+	Scheme   mitigation.Scheme
+	// Oracle, when non-nil, receives every activation and refresh (the
+	// protection harness).
+	Oracle *mitigation.Oracle
+	// Scrambler maps logical to physical rows; IgnoreScrambler feeds the
+	// scheme logical rows (the misconfiguration the tests show unsafe).
+	Scrambler       dram.Scrambler
+	IgnoreScrambler bool
+
+	CPUPerBus int // CPU cycles per bus cycle
+	// IntervalCPU is the auto-refresh interval in CPU cycles (0 = no
+	// interval boundaries).
+	IntervalCPU int64
+	// EpochCPU is the metric-sampling epoch length in CPU cycles (0 = no
+	// sampling). Sampling is observation only: any epoch length yields an
+	// identical end state.
+	EpochCPU int64
+	// CPUCycleNS and BusCycleNS convert cycle counts into the nanosecond
+	// timestamps and latencies reported in Samples.
+	CPUCycleNS float64
+	BusCycleNS float64
+
+	// LinearScan selects the O(cores) reference scheduler instead of the
+	// min-heap — for the equivalence test and benchmarks only.
+	LinearScan bool
+}
+
+func (c *Config) validate() error {
+	switch {
+	case len(c.Cores) == 0:
+		return fmt.Errorf("engine: need at least one core")
+	case c.Ctrl == nil:
+		return fmt.Errorf("engine: need a memory controller")
+	case c.Policy == nil:
+		return fmt.Errorf("engine: need an address-mapping policy")
+	case c.Scheme == nil:
+		return fmt.Errorf("engine: need a mitigation scheme")
+	case c.CPUPerBus < 1:
+		return fmt.Errorf("engine: CPUPerBus must be at least 1")
+	case c.IntervalCPU < 0 || c.EpochCPU < 0:
+		return fmt.Errorf("engine: negative interval or epoch length")
+	}
+	for i, cs := range c.Cores {
+		if cs.CPU == nil || cs.Gen == nil {
+			return fmt.Errorf("engine: core %d missing CPU or generator", i)
+		}
+		if cs.Requests < 1 {
+			return fmt.Errorf("engine: core %d needs at least one request", i)
+		}
+	}
+	return nil
+}
+
+// Sample is one epoch's worth of time-series metrics. Activity fields are
+// deltas over the epoch; oracle exposure and snapshot fields are the state
+// at the epoch's end.
+type Sample struct {
+	// Epoch is the zero-based epoch index; EndNS its end timestamp (the
+	// epoch boundary, or the run end for the final partial epoch).
+	Epoch int     `json:"epoch"`
+	EndNS float64 `json:"end_ns"`
+
+	// Scheme activity during the epoch.
+	Activations   int64 `json:"activations"`
+	RefreshEvents int64 `json:"refresh_events"`
+	RowsRefreshed int64 `json:"rows_refreshed"`
+
+	// Controller activity during the epoch.
+	Reads            int64   `json:"reads"`
+	Writes           int64   `json:"writes"`
+	AvgReadLatencyNS float64 `json:"avg_read_latency_ns"`
+	// VictimBusyCycles is bus cycles of bank occupancy injected by victim
+	// refreshes during the epoch.
+	VictimBusyCycles int64 `json:"victim_busy_cycles"`
+
+	// Tracking-structure occupancy at epoch end (zero unless the scheme
+	// implements mitigation.Snapshotter).
+	CountersLive int   `json:"counters_live"`
+	CountersCap  int   `json:"counters_cap"`
+	TreeDepth    int   `json:"tree_depth"`
+	Reconfigs    int64 `json:"reconfigs"`
+
+	// Oracle exposure at epoch end, cumulative (protection runs only).
+	MissedVictimRows  int64 `json:"missed_victim_rows"`
+	ExposedVictimRows int64 `json:"exposed_victim_rows"`
+}
+
+// Result is what one engine run measures beyond the state the caller can
+// read back from the controller, scheme and oracle.
+type Result struct {
+	// EndCPU is the CPU cycle at which every core drained.
+	EndCPU int64
+	// PerBankActs counts activations per flat bank index.
+	PerBankActs []int64
+	// Samples holds one entry per elapsed epoch (nil when EpochCPU is 0).
+	Samples []Sample
+}
+
+// sampler accumulates epoch samples: it keeps the previous scheme and
+// controller statistics and emits their deltas at each boundary.
+type sampler struct {
+	cfg        *Config
+	snap       mitigation.Snapshotter // nil when unimplemented
+	samples    []Sample
+	nextCPU    int64
+	lastCPU    int64 // last flushed boundary
+	prevCounts mitigation.Counts
+	prevStats  memctrl.Stats
+}
+
+func newSampler(cfg *Config) *sampler {
+	if cfg.EpochCPU <= 0 {
+		return nil
+	}
+	s := &sampler{cfg: cfg, nextCPU: cfg.EpochCPU}
+	s.snap, _ = cfg.Scheme.(mitigation.Snapshotter)
+	s.prevCounts = cfg.Scheme.Counts()
+	s.prevStats = cfg.Ctrl.Stats()
+	return s
+}
+
+// flush closes the epoch ending at endCPU. Pure observation: it reads
+// scheme/controller/oracle state and never mutates any of them.
+func (s *sampler) flush(endCPU int64) {
+	counts := s.cfg.Scheme.Counts()
+	stats := s.cfg.Ctrl.Stats()
+	dc := counts.Sub(s.prevCounts)
+	ds := stats.Sub(s.prevStats)
+	out := Sample{
+		Epoch:            len(s.samples),
+		EndNS:            float64(endCPU) * s.cfg.CPUCycleNS,
+		Activations:      dc.Activations,
+		RefreshEvents:    dc.RefreshEvents,
+		RowsRefreshed:    dc.RowsRefreshed,
+		Reads:            ds.Reads,
+		Writes:           ds.Writes,
+		VictimBusyCycles: ds.VictimRefreshBusy,
+	}
+	if ds.Reads > 0 {
+		out.AvgReadLatencyNS = float64(ds.ReadLatencySum) / float64(ds.Reads) * s.cfg.BusCycleNS
+	}
+	if s.snap != nil {
+		sn := s.snap.Snapshot()
+		out.CountersLive = sn.Live
+		out.CountersCap = sn.Cap
+		out.TreeDepth = sn.Depth
+		out.Reconfigs = sn.Reconfigs
+	}
+	if s.cfg.Oracle != nil {
+		out.MissedVictimRows = s.cfg.Oracle.MissedVictimRows()
+		out.ExposedVictimRows = s.cfg.Oracle.ExposedVictimRows()
+	}
+	s.samples = append(s.samples, out)
+	s.lastCPU = endCPU
+	s.prevCounts, s.prevStats = counts, stats
+}
+
+// Run executes the event loop to completion.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(cfg.Cores)
+	var sched scheduler
+	if cfg.LinearScan {
+		sched = newLinearScheduler(n)
+	} else {
+		sched = newHeapScheduler(n)
+	}
+	left := make([]int, n)
+	for i := range left {
+		left[i] = cfg.Cores[i].Requests
+	}
+	perBank := make([]int64, cfg.Geometry.TotalBanks())
+	crossBank, hasCrossBank := cfg.Scheme.(mitigation.CrossBank)
+	smp := newSampler(&cfg)
+	nextInterval := cfg.IntervalCPU
+
+	remaining := n
+	for remaining > 0 {
+		// Advance the core with the smallest local clock (keeps bank and
+		// channel contention causally ordered across cores). Selection
+		// times are non-decreasing, so they double as the global clock the
+		// epoch sampler slices.
+		ci := sched.pick()
+		cs := &cfg.Cores[ci]
+		if smp != nil {
+			for cs.CPU.Now >= smp.nextCPU {
+				smp.flush(smp.nextCPU)
+				smp.nextCPU += cfg.EpochCPU
+			}
+		}
+		req := cs.Gen.Next()
+		cs.CPU.AdvanceGap(req.Gap)
+		issueCPU := cs.CPU.PrepareIssue()
+
+		// Auto-refresh interval boundary (burst semantics, §V).
+		for cfg.IntervalCPU > 0 && issueCPU >= nextInterval {
+			cfg.Scheme.OnIntervalBoundary()
+			if cfg.Oracle != nil {
+				cfg.Oracle.RefreshAll()
+			}
+			nextInterval += cfg.IntervalCPU
+		}
+
+		coord := cfg.Policy.Decode(req.Addr)
+		flat := cfg.Geometry.Flat(coord.Bank)
+		perBank[flat]++
+		issueBus := issueCPU / int64(cfg.CPUPerBus)
+
+		// Crosstalk couples physically adjacent wordlines: track (and
+		// refresh) in physical row space unless misconfigured.
+		trackRow := coord.Row
+		physRow := coord.Row
+		if cfg.Scrambler != nil {
+			physRow = cfg.Scrambler.ToPhysical(coord.Row)
+			if !cfg.IgnoreScrambler {
+				trackRow = physRow
+			}
+		}
+		ranges := cfg.Scheme.OnActivate(flat, trackRow)
+		if cfg.Oracle != nil {
+			cfg.Oracle.Activate(flat, physRow)
+		}
+		if req.Write {
+			cfg.Ctrl.Write(issueBus, coord)
+			cs.CPU.NoteWrite()
+		} else {
+			doneBus := cfg.Ctrl.Read(issueBus, coord)
+			cs.CPU.NoteRead(doneBus * int64(cfg.CPUPerBus))
+		}
+		// The victim refresh queues behind the triggering activation.
+		for _, rr := range ranges {
+			cfg.Ctrl.VictimRefresh(issueBus, flat, rr.Rows())
+			if cfg.Oracle != nil {
+				cfg.Oracle.Refresh(flat, rr)
+			}
+		}
+		if hasCrossBank {
+			// Shared-counter schemes (ABACuS) refresh the same victims in
+			// the other banks too.
+			for _, bf := range crossBank.PendingCrossBank() {
+				cfg.Ctrl.VictimRefresh(issueBus, bf.Bank, bf.Range.Rows())
+				if cfg.Oracle != nil {
+					cfg.Oracle.Refresh(bf.Bank, bf.Range)
+				}
+			}
+		}
+		left[ci]--
+		if left[ci] == 0 {
+			sched.remove(ci)
+			remaining--
+		} else {
+			sched.update(ci, cs.CPU.Now)
+		}
+	}
+
+	var endCPU int64
+	for i := range cfg.Cores {
+		if d := cfg.Cores[i].CPU.Drain(); d > endCPU {
+			endCPU = d
+		}
+	}
+	cfg.Ctrl.FlushWrites(endCPU / int64(cfg.CPUPerBus))
+
+	res := Result{EndCPU: endCPU, PerBankActs: perBank}
+	if smp != nil {
+		// Close the trailing partial epoch so drain-time write traffic is
+		// accounted; a run ending exactly on a boundary emits no empty
+		// tail.
+		if endCPU > smp.lastCPU || len(smp.samples) == 0 {
+			smp.flush(endCPU)
+		}
+		res.Samples = smp.samples
+	}
+	return res, nil
+}

@@ -1,0 +1,145 @@
+package engine
+
+// Schedulers pick the next core to advance: the runnable core with the
+// smallest local clock, ties broken toward the lowest core index — the
+// causal order the historical linear scan in sim.Run established (bank and
+// channel contention stay ordered across cores). The min-heap makes that
+// pick O(log cores) per request instead of O(cores), which is what lets
+// 64–256-core scenario sweeps scale; the linear scan survives as the
+// reference implementation that the equivalence test and the scheduler
+// benchmarks run the heap against.
+
+// A scheduler tracks the clocks of runnable cores. All cores start
+// runnable at clock 0.
+type scheduler interface {
+	// pick returns the runnable core with the smallest (clock, index)
+	// key, or -1 when none remain.
+	pick() int
+	// update records that core i's clock advanced to now.
+	update(i int, now int64)
+	// remove retires core i (its request budget is exhausted).
+	remove(i int)
+}
+
+// heapScheduler is a binary min-heap over core indices keyed by
+// (clock, index). pos tracks each core's heap slot so update/remove work
+// on arbitrary cores without a search; no operation allocates.
+type heapScheduler struct {
+	now  []int64 // core index -> clock
+	heap []int32 // heap slot -> core index
+	pos  []int32 // core index -> heap slot (-1 once removed)
+}
+
+func newHeapScheduler(n int) *heapScheduler {
+	h := &heapScheduler{
+		now:  make([]int64, n),
+		heap: make([]int32, n),
+		pos:  make([]int32, n),
+	}
+	// All clocks are 0, so slot order = index order already satisfies the
+	// heap property under the (clock, index) key.
+	for i := range h.heap {
+		h.heap[i] = int32(i)
+		h.pos[i] = int32(i)
+	}
+	return h
+}
+
+// less orders core a before core b under the (clock, index) key.
+func (h *heapScheduler) less(a, b int32) bool {
+	return h.now[a] < h.now[b] || (h.now[a] == h.now[b] && a < b)
+}
+
+func (h *heapScheduler) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *heapScheduler) siftUp(slot int) {
+	for slot > 0 {
+		parent := (slot - 1) / 2
+		if !h.less(h.heap[slot], h.heap[parent]) {
+			return
+		}
+		h.swap(slot, parent)
+		slot = parent
+	}
+}
+
+func (h *heapScheduler) siftDown(slot int) {
+	n := len(h.heap)
+	for {
+		min, l, r := slot, 2*slot+1, 2*slot+2
+		if l < n && h.less(h.heap[l], h.heap[min]) {
+			min = l
+		}
+		if r < n && h.less(h.heap[r], h.heap[min]) {
+			min = r
+		}
+		if min == slot {
+			return
+		}
+		h.swap(slot, min)
+		slot = min
+	}
+}
+
+func (h *heapScheduler) pick() int {
+	if len(h.heap) == 0 {
+		return -1
+	}
+	return int(h.heap[0])
+}
+
+func (h *heapScheduler) update(i int, now int64) {
+	h.now[i] = now
+	slot := int(h.pos[i])
+	h.siftDown(slot)
+	h.siftUp(slot)
+}
+
+func (h *heapScheduler) remove(i int) {
+	slot := int(h.pos[i])
+	last := len(h.heap) - 1
+	h.swap(slot, last)
+	h.heap = h.heap[:last]
+	h.pos[i] = -1
+	if slot < last {
+		h.siftDown(slot)
+		h.siftUp(slot)
+	}
+}
+
+// linearScheduler is the pre-refactor O(cores) scan, byte-equivalent to
+// the loop sim.Run carried inline: smallest clock wins, first index on
+// ties (strict < while scanning in index order).
+type linearScheduler struct {
+	now   []int64
+	alive []bool
+}
+
+func newLinearScheduler(n int) *linearScheduler {
+	l := &linearScheduler{now: make([]int64, n), alive: make([]bool, n)}
+	for i := range l.alive {
+		l.alive[i] = true
+	}
+	return l
+}
+
+func (l *linearScheduler) pick() int {
+	best := -1
+	for i, alive := range l.alive {
+		if !alive {
+			continue
+		}
+		if best < 0 || l.now[i] < l.now[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (l *linearScheduler) update(i int, now int64) { l.now[i] = now }
+
+func (l *linearScheduler) remove(i int) { l.alive[i] = false }

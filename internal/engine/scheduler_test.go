@@ -1,0 +1,65 @@
+package engine
+
+import "testing"
+
+// TestHeapSchedulerMatchesLinearReference drives both schedulers through
+// an identical pseudo-random pick/update/remove workload and checks every
+// pick agrees — the (clock, index) tie-break included.
+func TestHeapSchedulerMatchesLinearReference(t *testing.T) {
+	const n = 37
+	h := newHeapScheduler(n)
+	l := newLinearScheduler(n)
+	now := make([]int64, n)
+	budget := make([]int, n)
+	for i := range budget {
+		budget[i] = 50 + i%7
+	}
+	state := uint64(0x9e3779b97f4a7c15)
+	remaining := n
+	for step := 0; remaining > 0; step++ {
+		hp, lp := h.pick(), l.pick()
+		if hp != lp {
+			t.Fatalf("step %d: heap picked %d, linear picked %d", step, hp, lp)
+		}
+		// xorshift delta in [0, 8): frequent ties exercise the index
+		// tie-break.
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		now[hp] += int64(state % 8)
+		budget[hp]--
+		if budget[hp] == 0 {
+			h.remove(hp)
+			l.remove(hp)
+			remaining--
+			continue
+		}
+		h.update(hp, now[hp])
+		l.update(hp, now[hp])
+	}
+	if h.pick() != -1 || l.pick() != -1 {
+		t.Error("exhausted schedulers must pick -1")
+	}
+}
+
+func TestHeapSchedulerTieBreaksByIndex(t *testing.T) {
+	h := newHeapScheduler(4)
+	if got := h.pick(); got != 0 {
+		t.Fatalf("all-zero clocks: pick = %d, want 0", got)
+	}
+	h.update(0, 5)
+	h.update(2, 5)
+	if got := h.pick(); got != 1 {
+		t.Fatalf("pick = %d, want 1 (clock 0)", got)
+	}
+	h.update(1, 5)
+	h.update(3, 5)
+	// All clocks equal: lowest index wins.
+	if got := h.pick(); got != 0 {
+		t.Fatalf("pick = %d, want 0 on all-tied clocks", got)
+	}
+	h.remove(0)
+	if got := h.pick(); got != 1 {
+		t.Fatalf("pick = %d, want 1 after removing 0", got)
+	}
+}

@@ -28,6 +28,22 @@ type Stats struct {
 	VictimRefreshBusy int64 // bus cycles of bank occupancy injected
 }
 
+// Sub returns the field-wise difference s - prev: the controller activity
+// between two Stats() snapshots. The epoch engine samples Stats at epoch
+// boundaries and uses Sub to report per-epoch reads, latency and
+// victim-refresh occupancy.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Reads:             s.Reads - prev.Reads,
+		Writes:            s.Writes - prev.Writes,
+		WriteDrains:       s.WriteDrains - prev.WriteDrains,
+		ReadLatencySum:    s.ReadLatencySum - prev.ReadLatencySum,
+		AutoRefreshes:     s.AutoRefreshes - prev.AutoRefreshes,
+		VictimRefreshRows: s.VictimRefreshRows - prev.VictimRefreshRows,
+		VictimRefreshBusy: s.VictimRefreshBusy - prev.VictimRefreshBusy,
+	}
+}
+
 // Write-queue watermarks (Table I: capacity 64). Writes are posted into a
 // per-channel queue and drained in bursts once the high watermark is
 // reached, down to the low watermark — USIMM's write-drain policy. Reads

@@ -1,6 +1,7 @@
 package memctrl
 
 import (
+	"reflect"
 	"testing"
 
 	"catsim/internal/addrmap"
@@ -203,5 +204,20 @@ func TestNewValidation(t *testing.T) {
 	tm.TRFC = 0
 	if _, err := New(dram.Default2Channel(), tm); err == nil {
 		t.Error("expected timing error")
+	}
+}
+
+// TestStatsSubCoversEveryField guards the hand-enumerated delta: give
+// every field a distinct value and check Sub against the zero snapshot
+// returns it unchanged, so a future Stats field cannot silently vanish
+// from the per-epoch samples.
+func TestStatsSubCoversEveryField(t *testing.T) {
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(int64(i + 1))
+	}
+	if got := s.Sub(Stats{}); got != s {
+		t.Errorf("Sub(zero) = %+v, want %+v — a field is missing from Sub", got, s)
 	}
 }

@@ -178,6 +178,12 @@ func (a *ABACuS) OnIntervalBoundary() {
 // Counts implements Scheme.
 func (a *ABACuS) Counts() Counts { return a.counts }
 
+// Snapshot implements Snapshotter: occupied entries of the shared
+// Misra-Gries summary.
+func (a *ABACuS) Snapshot() Snapshot {
+	return Snapshot{Live: a.mg.Live(), Cap: a.mg.Cap()}
+}
+
 func init() {
 	Register(KindABACuS, Builder{
 		Params: []ParamDef{{Name: "counters", Doc: "shared Misra-Gries entries across all banks"}},

@@ -85,6 +85,22 @@ func (c *CAT) Counts() Counts {
 	return total
 }
 
+// Snapshot implements Snapshotter: active counters and the deepest leaf
+// across every bank's tree, plus DRCAT's cumulative reconfigurations —
+// the occupancy trajectory the figt time-series study plots.
+func (c *CAT) Snapshot() Snapshot {
+	s := Snapshot{Cap: len(c.trees) * c.trees[0].Config().Counters}
+	for _, t := range c.trees {
+		s.Live += t.ActiveCounters()
+		st := t.Stats()
+		s.Reconfigs += st.Reconfigs
+		if st.MaxDepth > s.Depth {
+			s.Depth = st.MaxDepth
+		}
+	}
+	return s
+}
+
 // MaxTreeDepth returns the deepest leaf observed across banks.
 func (c *CAT) MaxTreeDepth() int {
 	max := 0

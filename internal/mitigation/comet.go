@@ -139,6 +139,17 @@ func (c *CoMeT) OnIntervalBoundary() {
 // Counts implements Scheme.
 func (c *CoMeT) Counts() Counts { return c.counts }
 
+// Snapshot implements Snapshotter: occupied recent-aggressor-table
+// entries across banks (the sketch itself is always fully allocated; the
+// RAT population is the behavioural signal).
+func (c *CoMeT) Snapshot() Snapshot {
+	s := Snapshot{Cap: c.banks * CoMeTRATEntries}
+	for _, rat := range c.rat {
+		s.Live += rat.Live()
+	}
+	return s
+}
+
 func init() {
 	Register(KindCoMeT, Builder{
 		Params: []ParamDef{

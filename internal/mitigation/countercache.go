@@ -147,12 +147,26 @@ func (cc *CounterCache) OnIntervalBoundary() {
 // Counts implements Scheme.
 func (cc *CounterCache) Counts() Counts { return cc.counts }
 
+// Snapshot implements Snapshotter: valid cache tags across banks.
+func (cc *CounterCache) Snapshot() Snapshot {
+	s := Snapshot{Cap: cc.banks * cc.sets * cc.ways}
+	for b := 0; b < cc.banks; b++ {
+		for _, tag := range cc.tags[b] {
+			if tag >= 0 {
+				s.Live++
+			}
+		}
+	}
+	return s
+}
+
 func init() {
 	Register(KindCounterCache, Builder{
 		Params: []ParamDef{
 			{Name: "counters", Doc: "on-chip cache entries per bank"},
 			{Name: "ways", Doc: "cache associativity (default 8)"},
 		},
+		Short: "CC",
 		Build: func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error) {
 			entries, err := spec.Params.Int("counters", 0)
 			if err != nil {

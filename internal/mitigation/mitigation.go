@@ -109,6 +109,44 @@ type Counts struct {
 	ExtraMemAcc   int64 // extra DRAM accesses (counter-cache misses)
 }
 
+// Sub returns the field-wise difference c - prev: the activity that
+// happened between two Counts() snapshots. The epoch engine uses it to
+// turn cumulative counters into per-epoch deltas.
+func (c Counts) Sub(prev Counts) Counts {
+	return Counts{
+		Activations:   c.Activations - prev.Activations,
+		RefreshEvents: c.RefreshEvents - prev.RefreshEvents,
+		RowsRefreshed: c.RowsRefreshed - prev.RowsRefreshed,
+		SRAMAccesses:  c.SRAMAccesses - prev.SRAMAccesses,
+		PRNGBits:      c.PRNGBits - prev.PRNGBits,
+		ExtraMemAcc:   c.ExtraMemAcc - prev.ExtraMemAcc,
+	}
+}
+
+// Snapshot is an instantaneous view of a scheme's tracking state, sampled
+// by the epoch engine at epoch boundaries.
+type Snapshot struct {
+	// Live is the number of occupied tracking entries across all banks:
+	// active tree counters (CAT), valid cache tags (counter cache),
+	// nonzero group counters (SCA), RAT entries (CoMeT) or summary
+	// entries (ABACuS).
+	Live int
+	// Cap is the total entry capacity across all banks.
+	Cap int
+	// Depth is the deepest tree level observed so far (CAT only).
+	Depth int
+	// Reconfigs counts DRCAT merge+split reconfigurations so far.
+	Reconfigs int64
+}
+
+// Snapshotter is optionally implemented by schemes that can report their
+// tracking occupancy. Snapshot must be a pure read: sampling at an epoch
+// boundary must not perturb the simulation (the engine's epoch-length
+// invariance test holds every implementation to this).
+type Snapshotter interface {
+	Snapshot() Snapshot
+}
+
 // Scheme is one crosstalk-mitigation mechanism covering every bank of a
 // system. OnActivate may return zero or more ranges to refresh; the returned
 // slice is only valid until the next call. Implementations are not safe for
@@ -205,6 +243,7 @@ func clampRange(lo, hi, rows int) RefreshRange {
 
 func init() {
 	Register(KindNone, Builder{
+		Label: func(SchemeSpec) string { return "None" },
 		Build: func(SchemeSpec, int, int) (Scheme, error) { return NewNone(), nil },
 	})
 }

@@ -2,6 +2,7 @@ package mitigation
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"catsim/internal/core"
@@ -388,5 +389,18 @@ func TestNoneSchemeCountsActivationsOnly(t *testing.T) {
 	}
 	if c := n.Counts(); c.Activations != 10 || c.RowsRefreshed != 0 {
 		t.Errorf("counts = %+v", c)
+	}
+}
+
+// TestCountsSubCoversEveryField guards the hand-enumerated delta exactly
+// like memctrl's Stats test: no Counts field may be missing from Sub.
+func TestCountsSubCoversEveryField(t *testing.T) {
+	var c Counts
+	v := reflect.ValueOf(&c).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(int64(i + 1))
+	}
+	if got := c.Sub(Counts{}); got != c {
+		t.Errorf("Sub(zero) = %+v, want %+v — a field is missing from Sub", got, c)
 	}
 }

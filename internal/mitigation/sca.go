@@ -89,6 +89,20 @@ func (s *SCA) OnIntervalBoundary() {
 // Counts implements Scheme.
 func (s *SCA) Counts() Counts { return s.counts }
 
+// Snapshot implements Snapshotter: nonzero group counters across banks —
+// how much of the static assignment the traffic actually touches.
+func (s *SCA) Snapshot() Snapshot {
+	snap := Snapshot{Cap: s.banks * s.m}
+	for b := range s.counters {
+		for _, c := range s.counters[b] {
+			if c != 0 {
+				snap.Live++
+			}
+		}
+	}
+	return snap
+}
+
 func init() {
 	Register(KindSCA, Builder{
 		Params: []ParamDef{{Name: "counters", Doc: "group counters per bank M"}},

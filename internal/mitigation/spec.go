@@ -195,7 +195,14 @@ type ParamDef struct {
 // registered kind and every param name is declared.
 type Builder struct {
 	Params []ParamDef
-	Build  func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error)
+	// Short is the family's figure-label abbreviation ("CC", "DSAC");
+	// empty uses the Kind name.
+	Short string
+	// Label renders the figure label for a spec; nil selects the default
+	// "<Short>_<counters>" form. Registered next to Build so every
+	// caller — sim grids, report tables, cache keys — shares one naming.
+	Label func(spec SchemeSpec) string
+	Build func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error)
 }
 
 var builders = map[Kind]Builder{}
@@ -221,6 +228,26 @@ func Register(k Kind, b Builder) {
 func BuilderFor(k Kind) (Builder, bool) {
 	b, ok := builders[k]
 	return b, ok
+}
+
+// Label renders the figure label for a spec ("DRCAT_64", "CC_1024",
+// "PRA_0.002", "None"): the registered family's Label override when set,
+// otherwise "<Short>_<counters>". This is the single naming authority the
+// experiment grids and report tables share.
+func Label(spec SchemeSpec) string {
+	b, ok := builders[spec.Kind]
+	if ok && b.Label != nil {
+		return b.Label(spec)
+	}
+	short := spec.Kind.String()
+	if ok && b.Short != "" {
+		short = b.Short
+	}
+	counters, err := spec.Params.Int("counters", 0)
+	if err != nil {
+		counters = 0
+	}
+	return fmt.Sprintf("%s_%d", short, counters)
 }
 
 func validParam(k Kind, name string) error {

@@ -192,3 +192,32 @@ func TestEveryKindHasBuilder(t *testing.T) {
 		}
 	}
 }
+
+// TestLabelEveryKind locks the figure labels the tables and cache keys
+// are built from, now that naming lives in the builder registry next to
+// construction (the sim package's historical per-kind switch is gone).
+func TestLabelEveryKind(t *testing.T) {
+	want := map[Kind]string{
+		KindNone:         "None",
+		KindSCA:          "SCA_64",
+		KindPRA:          "PRA_0.003",
+		KindPRCAT:        "PRCAT_64",
+		KindDRCAT:        "DRCAT_64",
+		KindCounterCache: "CC_1024",
+		KindCoMeT:        "CoMeT_512",
+		KindABACuS:       "ABACuS_1024",
+		KindStochastic:   "DSAC_64",
+	}
+	fixtures := specFixtures()
+	for _, k := range Kinds() {
+		got := Label(fixtures[k])
+		if got != want[k] {
+			t.Errorf("Label(%v) = %q, want %q", k, got, want[k])
+		}
+	}
+	// PRA with no explicit p derives the paper's probability from the
+	// spec's threshold.
+	if got := Label(SchemeSpec{Kind: KindPRA, Threshold: 32768}); got != "PRA_0.002" {
+		t.Errorf("threshold-derived PRA label = %q, want PRA_0.002", got)
+	}
+}

@@ -95,12 +95,22 @@ func (s *Stochastic) OnIntervalBoundary() {
 // Counts implements Scheme.
 func (s *Stochastic) Counts() Counts { return s.counts }
 
+// Snapshot implements Snapshotter: occupied tracker entries across banks.
+func (s *Stochastic) Snapshot() Snapshot {
+	snap := Snapshot{Cap: s.banks * s.tables[0].Cap()}
+	for _, t := range s.tables {
+		snap.Live += t.Live()
+	}
+	return snap
+}
+
 func init() {
 	Register(KindStochastic, Builder{
 		Params: []ParamDef{
 			{Name: "counters", Doc: "exact counters per bank"},
 			{Name: "seed", Doc: "replace-minimum PRNG seed (default 1)"},
 		},
+		Short: "DSAC",
 		Build: func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error) {
 			m, err := spec.Params.Int("counters", 0)
 			if err != nil {

@@ -53,9 +53,10 @@ func (c *Cache) Run(cfg sim.Config) (sim.Result, error) {
 		return sim.Result{}, e.err
 	}
 	res := e.res
-	// The entry is shared across callers: hand out a private copy of the
-	// one mutable field so consumers can't corrupt each other.
+	// The entry is shared across callers: hand out private copies of the
+	// mutable fields so consumers can't corrupt each other.
 	res.PerBankActs = append([]int64(nil), e.res.PerBankActs...)
+	res.Epochs = append([]sim.EpochSample(nil), e.res.Epochs...)
 	return res, nil
 }
 

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"catsim/internal/mitigation"
+	"catsim/internal/trace"
+)
+
+func epochConfig(t *testing.T) Config {
+	t.Helper()
+	wl, err := trace.Lookup("black")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Cores: 2, RequestsPerCore: 20_000, Workload: wl,
+		Scheme:    SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+		Threshold: 1024, ThresholdScale: 0.03, IntervalNS: 2e6, Seed: 5,
+		Attack:          &AttackConfig{Kernel: 1, Mode: trace.Heavy, Pattern: trace.PatternDoubleSided},
+		AttackOnsetFrac: 0.5,
+		CheckProtection: true,
+	}
+}
+
+// stripEpochs removes the only field epoch sampling is allowed to change.
+func stripEpochs(r Result) Result {
+	r.Epochs = nil
+	return r
+}
+
+// TestRunEpochLengthInvariance is the refactor's determinism contract:
+// the final Result is identical at every epoch length, including no
+// sampling at all — the configuration the pre-engine goldens were
+// captured under.
+func TestRunEpochLengthInvariance(t *testing.T) {
+	base := epochConfig(t)
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Epochs != nil {
+		t.Fatal("EpochNS=0 must not record samples")
+	}
+	for _, epochNS := range []float64{1e5, 3.33e5, 1e6, 1e9} {
+		cfg := base
+		cfg.EpochNS = epochNS
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Epochs) == 0 {
+			t.Fatalf("EpochNS=%g: no samples", epochNS)
+		}
+		if !reflect.DeepEqual(stripEpochs(got), ref) {
+			t.Errorf("EpochNS=%g: final Result diverges from the unsampled run", epochNS)
+		}
+		var acts int64
+		for _, s := range got.Epochs {
+			acts += s.Activations
+		}
+		if acts != got.Counts.Activations {
+			t.Errorf("EpochNS=%g: epoch activations sum %d != total %d",
+				epochNS, acts, got.Counts.Activations)
+		}
+		// Oracle exposure is cumulative, so it must be non-decreasing and
+		// end at the run total.
+		last := got.Epochs[len(got.Epochs)-1]
+		if last.MissedVictimRows != got.MissedVictimRows {
+			t.Errorf("EpochNS=%g: final epoch misses %d != result %d",
+				epochNS, last.MissedVictimRows, got.MissedVictimRows)
+		}
+	}
+}
+
+// TestAttackOnsetChangesTraffic checks the phased stream actually defers
+// the attack: a full-run blend and a half-run blend must differ, and the
+// onset run must match a benign run over its benign prefix... which shows
+// up as different totals from both extremes.
+func TestAttackOnsetChangesTraffic(t *testing.T) {
+	full := epochConfig(t)
+	full.AttackOnsetFrac = 0
+	fullRes, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := epochConfig(t)
+	halfRes, err := Run(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := epochConfig(t)
+	benign.Attack = nil
+	benign.AttackOnsetFrac = 0
+	benignRes, err := Run(benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(halfRes.PerBankActs, fullRes.PerBankActs) {
+		t.Error("onset at 50% produced the same bank traffic as a full-run attack")
+	}
+	if reflect.DeepEqual(halfRes.PerBankActs, benignRes.PerBankActs) {
+		t.Error("onset at 50% produced the same bank traffic as no attack")
+	}
+}
+
+func TestAttackOnsetValidation(t *testing.T) {
+	cfg := epochConfig(t)
+	cfg.Attack = nil // onset without an attack
+	if _, err := Run(cfg); err == nil {
+		t.Error("onset fraction without an attack must be rejected")
+	}
+	cfg = epochConfig(t)
+	cfg.AttackOnsetFrac = 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("onset fraction 1 must be rejected")
+	}
+	cfg = epochConfig(t)
+	cfg.EpochNS = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative epoch length must be rejected")
+	}
+}

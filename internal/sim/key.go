@@ -28,6 +28,15 @@ func CacheKey(cfg Config) string {
 	if cfg.Attack != nil {
 		fmt.Fprintf(&b, "|attack=%v", *cfg.Attack)
 	}
+	if cfg.AttackOnsetFrac != 0 {
+		fmt.Fprintf(&b, "|onset=%g", cfg.AttackOnsetFrac)
+	}
+	// Epoch sampling never changes the end state, but it fills
+	// Result.Epochs, and cached Results are handed back verbatim — so
+	// epoch-sampled runs must not share entries with unsampled ones.
+	if cfg.EpochNS != 0 {
+		fmt.Fprintf(&b, "|epoch=%g", cfg.EpochNS)
+	}
 	// The label does not encode every SchemeSpec field (e.g. Ways), so
 	// spell the spec out in full.
 	fmt.Fprintf(&b, "|scheme=%v|T=%d|interval=%g|tscale=%g|seed=%d|oracle=%t",

@@ -49,6 +49,11 @@ func TestCacheKeySeparatesRuns(t *testing.T) {
 		func(c *Config) { c.CheckProtection = true },
 		func(c *Config) { c.Attack = &AttackConfig{Kernel: 3, Mode: trace.Heavy} },
 		func(c *Config) {
+			c.Attack = &AttackConfig{Kernel: 3, Mode: trace.Heavy}
+			c.AttackOnsetFrac = 0.5
+		},
+		func(c *Config) { c.EpochNS = 1e6 },
+		func(c *Config) {
 			wl, _ := trace.Lookup("comm1")
 			c.Workload = wl
 		},
@@ -80,7 +85,7 @@ func TestCacheKeyLabelsScheme(t *testing.T) {
 // added a Config field: teach CacheKey about it (or deliberately exclude
 // it) and update the count here.
 func TestCacheKeyCoversConfig(t *testing.T) {
-	if n := reflect.TypeOf(Config{}).NumField(); n != 18 {
-		t.Errorf("Config has %d fields, CacheKey was written against 18", n)
+	if n := reflect.TypeOf(Config{}).NumField(); n != 20 {
+		t.Errorf("Config has %d fields, CacheKey was written against 20", n)
 	}
 }

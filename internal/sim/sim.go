@@ -17,6 +17,7 @@ import (
 	"catsim/internal/cpu"
 	"catsim/internal/dram"
 	"catsim/internal/energy"
+	"catsim/internal/engine"
 	"catsim/internal/memctrl"
 	"catsim/internal/mitigation"
 
@@ -42,30 +43,11 @@ type SchemeSpec struct {
 	SpecSeed uint64
 }
 
-// Label returns the figure label ("DRCAT_64", "PRA_0.002", ...).
+// Label returns the figure label ("DRCAT_64", "PRA_0.002", ...) via the
+// mitigation builder registry, which owns per-family naming alongside
+// construction (mitigation.Label).
 func (s SchemeSpec) Label(threshold uint32) string {
-	switch s.Kind {
-	case mitigation.KindNone:
-		return "None"
-	case mitigation.KindPRA:
-		p := s.PRAProb
-		if p == 0 {
-			p = mitigation.PRAProbabilityForThreshold(threshold)
-		}
-		return fmt.Sprintf("PRA_%g", p)
-	default:
-		return fmt.Sprintf("%s_%d", kindShort(s.Kind), s.Counters)
-	}
-}
-
-func kindShort(k mitigation.Kind) string {
-	switch k {
-	case mitigation.KindCounterCache:
-		return "CC"
-	case mitigation.KindStochastic:
-		return "DSAC"
-	}
-	return k.String()
+	return mitigation.Label(s.Spec(threshold, 0))
 }
 
 // Seed-stream separators: each scheme family with a private PRNG derives
@@ -193,6 +175,12 @@ type Config struct {
 	// Attack, when non-nil, blends kernel-attack traffic into every core's
 	// stream (§VIII-D).
 	Attack *AttackConfig
+	// AttackOnsetFrac delays the attack blend: each core's first
+	// OnsetFrac*RequestsPerCore requests stay benign, the rest carry the
+	// blend (0 = attack active from the start). Requires Attack; with
+	// epochs enabled, the figt study uses it to watch adaptation respond
+	// to onset.
+	AttackOnsetFrac float64
 
 	Scheme    SchemeSpec
 	Threshold uint32 // refresh threshold T
@@ -200,6 +188,12 @@ type Config struct {
 	// IntervalNS is the auto-refresh interval for scheme resets
 	// (0 = the real 64 ms).
 	IntervalNS float64
+
+	// EpochNS, when positive, slices the run into fixed-duration epochs
+	// and records per-epoch metrics into Result.Epochs. Sampling is pure
+	// observation: any epoch length (including 0, no sampling) yields an
+	// identical final Result apart from the Epochs field itself.
+	EpochNS float64
 
 	// ThresholdScale records by how much Threshold was scaled down
 	// relative to the modeled hardware threshold (0 or 1 = unscaled).
@@ -257,7 +251,15 @@ type Result struct {
 	ExposedVictimRows int64
 	MissedVictimRate  float64
 	SchemeLabel       string
+	// Epochs holds the per-epoch time series when Config.EpochNS is set
+	// (nil otherwise): activity deltas, tracking-structure occupancy and
+	// cumulative oracle exposure per fixed-duration epoch.
+	Epochs []EpochSample
 }
+
+// EpochSample is one epoch's worth of time-series metrics, recorded by
+// the engine when Config.EpochNS is positive.
+type EpochSample = engine.Sample
 
 func (c *Config) fill() {
 	if c.Window == 0 {
@@ -290,10 +292,25 @@ func (c *Config) validate() error {
 	if c.Threshold < 1 {
 		return fmt.Errorf("sim: refresh threshold must be positive")
 	}
+	if c.EpochNS < 0 {
+		return fmt.Errorf("sim: epoch length must not be negative")
+	}
+	if c.AttackOnsetFrac < 0 || c.AttackOnsetFrac >= 1 {
+		return fmt.Errorf("sim: attack onset fraction %v out of [0,1)", c.AttackOnsetFrac)
+	}
+	if c.AttackOnsetFrac > 0 && c.Attack == nil {
+		return fmt.Errorf("sim: attack onset fraction without an attack")
+	}
 	return c.Geometry.Validate()
 }
 
-// Run executes one simulation.
+// Run executes one simulation: it builds the mapping policy, controller,
+// scheme, oracle and per-core request streams from cfg, hands them to the
+// epoch-driven event loop in internal/engine, and derives the energy
+// breakdown and rate metrics from the end state. The engine's min-heap
+// scheduler replays the historical linear scan's causal order exactly, so
+// results are byte-identical to the pre-engine monolith (locked by the
+// golden files and the epoch/scheduler invariance tests).
 func Run(cfg Config) (Result, error) {
 	cfg.fill()
 	if err := cfg.validate(); err != nil {
@@ -334,19 +351,13 @@ func Run(cfg Config) (Result, error) {
 	if cfg.CheckProtection && scheme.Kind() != mitigation.KindNone {
 		oracle = mitigation.NewOracle(banks, cfg.Geometry.RowsPerBank, cfg.Threshold)
 	}
-	crossBank, hasCrossBank := scheme.(mitigation.CrossBank)
 
-	type coreState struct {
-		core *cpu.Core
-		gen  trace.Generator
-		left int
-	}
 	if cfg.WorkloadPerCore != nil && len(cfg.WorkloadPerCore) != cfg.Cores {
 		return Result{}, fmt.Errorf("sim: %d per-core workloads for %d cores",
 			len(cfg.WorkloadPerCore), cfg.Cores)
 	}
-	cores := make([]*coreState, cfg.Cores)
-	for i := range cores {
+	slots := make([]engine.CoreSlot, cfg.Cores)
+	for i := range slots {
 		c, err := cpu.NewCore(cfg.Window)
 		if err != nil {
 			return Result{}, err
@@ -368,98 +379,41 @@ func Run(cfg Config) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-		}
-		cores[i] = &coreState{core: c, gen: gen, left: cfg.RequestsPerCore}
-	}
-
-	cpuNS := 1000.0 / (float64(cfg.Timing.BusMHz) * float64(cfg.CPUPerBus)) // ns per CPU cycle
-	intervalCPU := int64(cfg.IntervalNS / cpuNS)
-	nextInterval := intervalCPU
-
-	perBank := make([]int64, banks)
-	remaining := cfg.Cores
-	for remaining > 0 {
-		// Advance the core with the smallest local clock (keeps bank and
-		// channel contention causally ordered across cores).
-		var cs *coreState
-		for _, c := range cores {
-			if c.left == 0 {
-				continue
-			}
-			if cs == nil || c.core.Now < cs.core.Now {
-				cs = c
-			}
-		}
-		req := cs.gen.Next()
-		cs.core.AdvanceGap(req.Gap)
-		issueCPU := cs.core.PrepareIssue()
-
-		// Auto-refresh interval boundary (burst semantics, §V).
-		for intervalCPU > 0 && issueCPU >= nextInterval {
-			scheme.OnIntervalBoundary()
-			if oracle != nil {
-				oracle.RefreshAll()
-			}
-			nextInterval += intervalCPU
-		}
-
-		coord := policy.Decode(req.Addr)
-		flat := cfg.Geometry.Flat(coord.Bank)
-		perBank[flat]++
-		issueBus := issueCPU / int64(cfg.CPUPerBus)
-
-		// Crosstalk couples physically adjacent wordlines: track (and
-		// refresh) in physical row space unless misconfigured.
-		trackRow := coord.Row
-		physRow := coord.Row
-		if cfg.Scrambler != nil {
-			physRow = cfg.Scrambler.ToPhysical(coord.Row)
-			if !cfg.IgnoreScrambler {
-				trackRow = physRow
-			}
-		}
-		ranges := scheme.OnActivate(flat, trackRow)
-		if oracle != nil {
-			oracle.Activate(flat, physRow)
-		}
-		if req.Write {
-			ctrl.Write(issueBus, coord)
-			cs.core.NoteWrite()
-		} else {
-			doneBus := ctrl.Read(issueBus, coord)
-			cs.core.NoteRead(doneBus * int64(cfg.CPUPerBus))
-		}
-		// The victim refresh queues behind the triggering activation.
-		for _, rr := range ranges {
-			ctrl.VictimRefresh(issueBus, flat, rr.Rows())
-			if oracle != nil {
-				oracle.Refresh(flat, rr)
-			}
-		}
-		if hasCrossBank {
-			// Shared-counter schemes (ABACuS) refresh the same victims in
-			// the other banks too.
-			for _, bf := range crossBank.PendingCrossBank() {
-				ctrl.VictimRefresh(issueBus, bf.Bank, bf.Range.Rows())
-				if oracle != nil {
-					oracle.Refresh(bf.Bank, bf.Range)
+			if cfg.AttackOnsetFrac > 0 {
+				// The benign prefix draws from the plain synthetic stream;
+				// the blend (which wraps the same stream) takes over at the
+				// onset point.
+				onset := int64(cfg.AttackOnsetFrac * float64(cfg.RequestsPerCore))
+				gen, err = trace.NewPhased(onset, syn, gen)
+				if err != nil {
+					return Result{}, err
 				}
 			}
 		}
-		cs.left--
-		if cs.left == 0 {
-			remaining--
-		}
+		slots[i] = engine.CoreSlot{CPU: c, Gen: gen, Requests: cfg.RequestsPerCore}
 	}
 
-	var endCPU int64
-	for _, c := range cores {
-		if d := c.core.Drain(); d > endCPU {
-			endCPU = d
-		}
+	cpuNS := 1000.0 / (float64(cfg.Timing.BusMHz) * float64(cfg.CPUPerBus)) // ns per CPU cycle
+	er, err := engine.Run(engine.Config{
+		Cores:           slots,
+		Ctrl:            ctrl,
+		Policy:          policy,
+		Geometry:        cfg.Geometry,
+		Scheme:          scheme,
+		Oracle:          oracle,
+		Scrambler:       cfg.Scrambler,
+		IgnoreScrambler: cfg.IgnoreScrambler,
+		CPUPerBus:       cfg.CPUPerBus,
+		IntervalCPU:     int64(cfg.IntervalNS / cpuNS),
+		EpochCPU:        int64(cfg.EpochNS / cpuNS),
+		CPUCycleNS:      cpuNS,
+		BusCycleNS:      1000.0 / float64(cfg.Timing.BusMHz),
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	ctrl.FlushWrites(endCPU / int64(cfg.CPUPerBus))
-	execNS := float64(endCPU) * cpuNS
+	perBank := er.PerBankActs
+	execNS := float64(er.EndCPU) * cpuNS
 
 	counts := scheme.Counts()
 	breakdown, err := energy.Compute(scheme.Kind(), scheme.CountersPerBank(), counts, banks, execNS)
@@ -481,6 +435,7 @@ func Run(cfg Config) (Result, error) {
 		VictimBusyFrac:   float64(ctrl.Stats().VictimRefreshBusy) * busNS / (float64(banks) * execNS),
 		PerBankActs:      perBank,
 		SchemeLabel:      cfg.Scheme.Label(cfg.Threshold),
+		Epochs:           er.Samples,
 	}
 	if oracle != nil {
 		res.OracleViolations = oracle.Violations()

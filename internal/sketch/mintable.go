@@ -29,6 +29,17 @@ func NewMinTable(entries int) (*MinTable, error) {
 // Cap returns the entry count.
 func (t *MinTable) Cap() int { return len(t.keys) }
 
+// Live returns the number of occupied entries.
+func (t *MinTable) Live() int {
+	n := 0
+	for _, k := range t.keys {
+		if k != -1 {
+			n++
+		}
+	}
+	return n
+}
+
 // Find returns the index tracking key, or -1.
 func (t *MinTable) Find(key int64) int {
 	for i, k := range t.keys {

@@ -43,6 +43,9 @@ func NewMisraGries(entries int) (*MisraGries, error) {
 // Cap returns the entry count.
 func (m *MisraGries) Cap() int { return len(m.keys) }
 
+// Live returns the number of occupied entries.
+func (m *MisraGries) Live() int { return m.filled }
+
 // Spillover returns the floor bounding every untracked key's count.
 func (m *MisraGries) Spillover() uint32 { return m.spill }
 

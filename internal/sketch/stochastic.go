@@ -43,6 +43,17 @@ func NewStochastic(entries int, src rng.Source) (*Stochastic, error) {
 // Cap returns the entry count.
 func (s *Stochastic) Cap() int { return len(s.keys) }
 
+// Live returns the number of occupied entries.
+func (s *Stochastic) Live() int {
+	n := 0
+	for _, k := range s.keys {
+		if k != -1 {
+			n++
+		}
+	}
+	return n
+}
+
 // Draws returns how many random decisions have been made (one per miss on
 // a full table), for PRNG-energy accounting.
 func (s *Stochastic) Draws() int64 { return s.draws }

@@ -1,0 +1,44 @@
+package trace
+
+import "fmt"
+
+// Phased switches a core's stream between two generators after a fixed
+// number of requests — the workload-phase primitive behind onset studies:
+// a stream that is benign for its first switchAfter requests and
+// adversarial (or simply different) afterwards. The epoch engine's figt
+// study uses it to watch DRCAT re-adapt when an attack switches on
+// mid-run.
+type Phased struct {
+	early, late Generator
+	switchAfter int64
+	emitted     int64
+}
+
+// NewPhased builds a stream that draws its first switchAfter requests
+// from early and everything after from late. Generators that share
+// underlying state (an attack blend wrapping the same synthetic stream)
+// stay consistent across the switch, since only one of them is drawn from
+// at a time.
+func NewPhased(switchAfter int64, early, late Generator) (*Phased, error) {
+	if switchAfter < 0 {
+		return nil, fmt.Errorf("trace: phased switch point %d must not be negative", switchAfter)
+	}
+	if early == nil || late == nil {
+		return nil, fmt.Errorf("trace: phased stream needs both phase generators")
+	}
+	return &Phased{early: early, late: late, switchAfter: switchAfter}, nil
+}
+
+// Name implements Generator.
+func (p *Phased) Name() string {
+	return fmt.Sprintf("%s->%s@%d", p.early.Name(), p.late.Name(), p.switchAfter)
+}
+
+// Next implements Generator.
+func (p *Phased) Next() Request {
+	p.emitted++
+	if p.emitted <= p.switchAfter {
+		return p.early.Next()
+	}
+	return p.late.Next()
+}

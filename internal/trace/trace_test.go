@@ -268,3 +268,56 @@ func TestMemoryIntensiveSubsetNonEmpty(t *testing.T) {
 		}
 	}
 }
+
+// TestPhasedSwitchesGenerators checks the onset primitive: exactly
+// switchAfter requests from the early stream, everything after from the
+// late one, with the shared deterministic state intact.
+func TestPhasedSwitchesGenerators(t *testing.T) {
+	wl, err := Lookup("black")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Synthetic {
+		g, err := NewSynthetic(wl, 1<<30, 64, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	ref := mk()
+	var want []Request
+	for i := 0; i < 100; i++ {
+		want = append(want, ref.Next())
+	}
+	// Phase both halves off the same underlying stream: the phased view
+	// must replay it verbatim regardless of the switch point.
+	shared := mk()
+	phased, err := NewPhased(40, shared, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got := phased.Next(); got != w {
+			t.Fatalf("request %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if _, err := NewPhased(-1, shared, shared); err == nil {
+		t.Error("negative switch point accepted")
+	}
+	if _, err := NewPhased(1, nil, shared); err == nil {
+		t.Error("nil early generator accepted")
+	}
+	name := mustPhasedName(t, shared)
+	if name == "" {
+		t.Error("phased stream needs a name")
+	}
+}
+
+func mustPhasedName(t *testing.T, g Generator) string {
+	t.Helper()
+	p, err := NewPhased(3, g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Name()
+}
