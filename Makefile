@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-sketch bench-engine repro golden golden-check
+.PHONY: all build fmt vet lint test race bench bench-sketch bench-engine bench-gate-files bench-diff bench-accept repro golden golden-check
 
 all: build fmt vet test
 
@@ -41,19 +41,47 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Sketch-substrate benchmark trajectory: CI uploads BENCH_sketch.json so
-# future PRs can compare the approximate-counting hot path.
+# future PRs can compare the approximate-counting hot path. The stamp step
+# prepends commit SHA, CPU model and Go version so cross-run diffs stay
+# attributable.
+BENCH_SKETCH_TIME ?= 1x
+BENCH_COUNT ?= 1
 bench-sketch:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x -json ./internal/sketch > BENCH_sketch.json
+	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCH_SKETCH_TIME) -count=$(BENCH_COUNT) -json ./internal/sketch > BENCH_sketch.json
+	$(GO) run ./cmd/benchdiff -stamp BENCH_sketch.json
 
 # Engine hot-path benchmark trajectory: ns/request and allocs/request for
-# the epoch engine and its heap-vs-linear core schedulers at 2–256 cores.
-# CI uploads BENCH_engine.json; the steady-state alloc *gate* is
+# the epoch engine and its schedulers at 2–256 cores. CI uploads
+# BENCH_engine.json; the steady-state alloc *gate* is
 # TestSteadyStateZeroAllocs in `make test`, which fails the build on any
 # per-request allocation. Raise BENCH_ENGINE_TIME (e.g. 100x) for stable
 # local numbers.
 BENCH_ENGINE_TIME ?= 1x
 bench-engine:
-	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCH_ENGINE_TIME) -json ./internal/engine > BENCH_engine.json
+	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCH_ENGINE_TIME) -count=$(BENCH_COUNT) -json ./internal/engine > BENCH_engine.json
+	$(GO) run ./cmd/benchdiff -stamp BENCH_engine.json
+
+# Gate-stable regeneration of both trajectories: time-based benchtime so
+# micro- and macro-benchmarks alike get real measurement windows, and
+# -count=3 because benchdiff keeps the per-benchmark minimum across
+# repetitions (the noise-robust summary).
+BENCH_GATE_ENGINE_TIME ?= 200ms
+BENCH_GATE_SKETCH_TIME ?= 50ms
+bench-gate-files:
+	$(MAKE) bench-engine BENCH_ENGINE_TIME=$(BENCH_GATE_ENGINE_TIME) BENCH_COUNT=3
+	$(MAKE) bench-sketch BENCH_SKETCH_TIME=$(BENCH_GATE_SKETCH_TIME) BENCH_COUNT=3
+
+# The bench-regression gate, exactly as the CI job runs it: regenerate the
+# trajectories at gate-stable settings and fail on any >10% ns/op
+# regression (noise floor 50 ns) against the blessed baselines.
+bench-diff: bench-gate-files
+	$(GO) run ./cmd/benchdiff BENCH_engine.json BENCH_sketch.json
+
+# Rebless the baselines after an *intentional* perf change; eyeball the
+# diff of bench/baseline/*.json before committing.
+bench-accept: bench-gate-files
+	mkdir -p bench/baseline
+	cp BENCH_engine.json BENCH_sketch.json bench/baseline/
 
 # Full reproduction of the paper's tables and figures at default scale,
 # all cores, shared result cache.

@@ -1,0 +1,302 @@
+// Command benchdiff is the bench-regression gate: it compares `go test
+// -json` benchmark streams (the BENCH_*.json trajectory artifacts CI
+// uploads) against the blessed baselines under bench/baseline/ and fails
+// when any benchmark's ns/op regresses beyond the threshold.
+//
+// Diff mode (the CI job and `make bench-diff`):
+//
+//	benchdiff [-baseline DIR] [-threshold F] [-floor NS] FILE...
+//
+// Every FILE is compared against DIR/<basename>. A benchmark regresses
+// when its current ns/op exceeds baseline×(1+threshold) AND the absolute
+// delta exceeds the floor — the floor keeps sub-noise micro-benchmarks
+// (a few ns of jitter easily tops 10%) from flapping the gate. Benchmarks
+// added since the baseline are reported but never fail; benchmarks that
+// disappeared fail the gate so a baseline can't silently go stale.
+// Rebless intentional changes with `make bench-accept`.
+//
+// Stamp mode (`make bench-accept` and the CI upload steps):
+//
+//	benchdiff -stamp FILE...
+//
+// prepends a {"Action":"bench-meta",...} line carrying the commit SHA, CPU
+// model and Go version, so cross-run diffs stay attributable. Diff mode
+// prints both sides' metadata when present.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// meta is the attribution line stamp mode prepends. Action distinguishes
+// it from real test2json events (whose Actions are run/output/pass/...),
+// so tooling that consumes the stream can skip it by shape.
+type meta struct {
+	Action    string `json:"Action"` // always "bench-meta"
+	Commit    string `json:"Commit"`
+	GoVersion string `json:"GoVersion"`
+	CPU       string `json:"CPU"`
+	Time      string `json:"Time"`
+}
+
+// event is the subset of a test2json line the parser needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches a benchmark result in test output: name (with the
+// -GOMAXPROCS suffix to strip), iteration count, ns/op. Secondary metrics
+// (ns/request, B/op) ride on the same line but the gate is ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseFile extracts benchmark name -> ns/op from a go test -json stream,
+// plus the bench-meta line when present. Duplicate benchmark names (e.g.
+// -count > 1) keep the minimum, the noise-robust summary of repeats.
+func parseFile(path string) (map[string]float64, *meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	results := make(map[string]float64)
+	var m *meta
+	// test2json flushes the benchmark name (which go test prints before
+	// running) as its own partial-line event ending in "\t"; the timing
+	// numbers arrive in the next event. Reassemble complete lines per
+	// package before matching.
+	pending := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // tolerate non-JSON noise in the stream
+		}
+		if ev.Action == "bench-meta" {
+			m = &meta{}
+			if err := json.Unmarshal(line, m); err != nil {
+				m = nil
+			}
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf := pending[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			full := buf[:nl]
+			buf = buf[nl+1:]
+			sub := benchLine.FindStringSubmatch(strings.TrimSpace(full))
+			if sub == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(sub[3], 64)
+			if err != nil {
+				continue
+			}
+			if old, ok := results[sub[1]]; !ok || ns < old {
+				results[sub[1]] = ns
+			}
+		}
+		pending[ev.Package] = buf
+	}
+	return results, m, sc.Err()
+}
+
+// finding is one benchmark's comparison outcome.
+type finding struct {
+	name       string
+	base, cur  float64
+	regression bool
+	missing    bool // present in baseline, absent in current
+	added      bool // present in current, absent in baseline
+}
+
+// diff compares current against baseline under the threshold/floor rule.
+func diff(baseline, current map[string]float64, threshold, floorNS float64) []finding {
+	names := make([]string, 0, len(baseline)+len(current))
+	for n := range baseline {
+		names = append(names, n)
+	}
+	for n := range current {
+		if _, ok := baseline[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sortStrings(names)
+
+	var out []finding
+	for _, n := range names {
+		b, inBase := baseline[n]
+		c, inCur := current[n]
+		f := finding{name: n, base: b, cur: c}
+		switch {
+		case !inCur:
+			f.missing = true
+		case !inBase:
+			f.added = true
+		default:
+			f.regression = c > b*(1+threshold) && c-b > floorNS
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// report prints the comparison and returns the number of gate failures
+// (regressions plus benchmarks missing from the current run).
+func report(w *bufio.Writer, file string, findings []finding, baseMeta, curMeta *meta) int {
+	fmt.Fprintf(w, "== %s\n", file)
+	if baseMeta != nil {
+		fmt.Fprintf(w, "   baseline: commit %s, %s, %s\n", baseMeta.Commit, baseMeta.GoVersion, baseMeta.CPU)
+	}
+	if curMeta != nil {
+		fmt.Fprintf(w, "   current:  commit %s, %s, %s\n", curMeta.Commit, curMeta.GoVersion, curMeta.CPU)
+	}
+	if baseMeta != nil && curMeta != nil && baseMeta.CPU != curMeta.CPU {
+		fmt.Fprintf(w, "   WARNING: baseline was blessed on different hardware — expect noise; rebless with make bench-accept on this machine\n")
+	}
+	bad := 0
+	for _, f := range findings {
+		switch {
+		case f.missing:
+			bad++
+			fmt.Fprintf(w, "   MISSING  %-60s baseline %12.1f ns/op (rebless with make bench-accept if removed intentionally)\n", f.name, f.base)
+		case f.added:
+			fmt.Fprintf(w, "   new      %-60s %12.1f ns/op\n", f.name, f.cur)
+		case f.regression:
+			bad++
+			fmt.Fprintf(w, "   REGRESS  %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n", f.name, f.base, f.cur, 100*(f.cur/f.base-1))
+		default:
+			fmt.Fprintf(w, "   ok       %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n", f.name, f.base, f.cur, 100*(f.cur/f.base-1))
+		}
+	}
+	return bad
+}
+
+// hostMeta collects the attribution fields for stamp mode.
+func hostMeta() meta {
+	m := meta{
+		Action:    "bench-meta",
+		GoVersion: runtime.Version(),
+		Time:      time.Now().UTC().Format(time.RFC3339),
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		m.Commit = sha
+	} else if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		m.Commit = strings.TrimSpace(string(out))
+	}
+	if cpuinfo, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(cpuinfo), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				m.CPU = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+				break
+			}
+		}
+	}
+	if m.CPU == "" {
+		m.CPU = runtime.GOARCH
+	}
+	return m
+}
+
+// stamp prepends the bench-meta line to each file (replacing any stamp
+// already present, so re-stamping is idempotent).
+func stamp(paths []string) error {
+	line, err := json.Marshal(hostMeta())
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		body, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if i := bytes.IndexByte(body, '\n'); i >= 0 && bytes.Contains(body[:i], []byte(`"bench-meta"`)) {
+			body = body[i+1:]
+		}
+		out := append(append(line, '\n'), body...)
+		if err := os.WriteFile(p, out, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run is the CLI body; split from main so the regression-injection test
+// can drive it end to end and assert the failure exit.
+func run(args []string, stdout *bufio.Writer) (failures int, err error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	baselineDir := fs.String("baseline", "bench/baseline", "directory holding blessed baseline BENCH_*.json files")
+	threshold := fs.Float64("threshold", 0.10, "relative ns/op regression that fails the gate")
+	floor := fs.Float64("floor", 50, "absolute ns/op delta below which a regression is noise, not a failure")
+	doStamp := fs.Bool("stamp", false, "prepend run metadata (commit, CPU, Go version) to the files instead of diffing")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return 0, fmt.Errorf("benchdiff: no BENCH_*.json files given")
+	}
+	if *doStamp {
+		return 0, stamp(files)
+	}
+	for _, f := range files {
+		cur, curMeta, err := parseFile(f)
+		if err != nil {
+			return failures, fmt.Errorf("benchdiff: %s: %w", f, err)
+		}
+		basePath := filepath.Join(*baselineDir, filepath.Base(f))
+		base, baseMeta, err := parseFile(basePath)
+		if err != nil {
+			return failures, fmt.Errorf("benchdiff: baseline %s: %w (run make bench-accept to bless one)", basePath, err)
+		}
+		failures += report(stdout, f, diff(base, cur, *threshold, *floor), baseMeta, curMeta)
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "benchdiff: %d benchmark(s) regressed past %.0f%% — if intentional, rebless with make bench-accept\n",
+			failures, 100**threshold)
+	}
+	return failures, nil
+}
+
+func main() {
+	w := bufio.NewWriter(os.Stdout)
+	failures, err := run(os.Args[1:], w)
+	w.Flush()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

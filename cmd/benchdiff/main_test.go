@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stream fabricates a go test -json benchmark stream with the given
+// name -> ns/op results.
+func stream(results map[string]float64) string {
+	var b strings.Builder
+	for name, ns := range results {
+		line, _ := json.Marshal(event{
+			Action: "output",
+			Output: fmt.Sprintf("%s-8   \t     100\t  %.1f ns/op\t       0 B/op\n", name, ns),
+		})
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// writeBench writes a fabricated stream under dir.
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runCLI drives the same entry point main uses.
+func runCLI(t *testing.T, args ...string) (failures int, out string, err error) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	failures, err = run(args, w)
+	w.Flush()
+	return failures, buf.String(), err
+}
+
+// TestInjectedRegressionFailsGate is the acceptance demonstration: a >10%
+// ns/op regression injected into the current stream must fail the gate
+// exactly as the CI job would (nonzero failure count -> exit 1).
+func TestInjectedRegressionFailsGate(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeBench(t, baseDir, "BENCH_engine.json", stream(map[string]float64{
+		"BenchmarkEngineRun/default/64cores": 40_000_000,
+		"BenchmarkScheduler/tournament":      60,
+	}))
+	// 15% regression on the engine benchmark, well past both threshold and
+	// floor; the scheduler benchmark stays put.
+	cur := writeBench(t, curDir, "BENCH_engine.json", stream(map[string]float64{
+		"BenchmarkEngineRun/default/64cores": 46_000_000,
+		"BenchmarkScheduler/tournament":      60,
+	}))
+	failures, out, err := runCLI(t, "-baseline", baseDir, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("want exactly 1 gate failure, got %d\n%s", failures, out)
+	}
+	if !strings.Contains(out, "REGRESS") || !strings.Contains(out, "BenchmarkEngineRun/default/64cores") {
+		t.Fatalf("report does not name the regressed benchmark:\n%s", out)
+	}
+}
+
+// TestWithinThresholdPasses locks the other side of the gate: a 9% drift
+// passes a 10% threshold.
+func TestWithinThresholdPasses(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeBench(t, baseDir, "BENCH_engine.json", stream(map[string]float64{"BenchmarkX": 1000}))
+	cur := writeBench(t, curDir, "BENCH_engine.json", stream(map[string]float64{"BenchmarkX": 1090}))
+	failures, out, err := runCLI(t, "-baseline", baseDir, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("9%% drift must pass the 10%% gate:\n%s", out)
+	}
+}
+
+// TestNoiseFloorSuppressesTinyBenchmarks: a 50% blowup on a 10 ns
+// benchmark is jitter, not a regression — the absolute floor absorbs it.
+func TestNoiseFloorSuppressesTinyBenchmarks(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeBench(t, baseDir, "BENCH_sketch.json", stream(map[string]float64{"BenchmarkTiny": 10}))
+	cur := writeBench(t, curDir, "BENCH_sketch.json", stream(map[string]float64{"BenchmarkTiny": 15}))
+	failures, out, err := runCLI(t, "-baseline", baseDir, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("sub-floor delta must not fail the gate:\n%s", out)
+	}
+	// The same relative regression above the floor does fail.
+	writeBench(t, baseDir, "BENCH_sketch.json", stream(map[string]float64{"BenchmarkTiny": 1000}))
+	writeBench(t, curDir, "BENCH_sketch.json", stream(map[string]float64{"BenchmarkTiny": 1500}))
+	failures, _, err = runCLI(t, "-baseline", baseDir, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatal("above-floor regression must fail the gate")
+	}
+}
+
+// TestMissingBenchmarkFailsAddedDoesNot: losing a benchmark fails (stale
+// baseline), gaining one is fine.
+func TestMissingBenchmarkFailsAddedDoesNot(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeBench(t, baseDir, "BENCH_engine.json", stream(map[string]float64{"BenchmarkOld": 500}))
+	cur := writeBench(t, curDir, "BENCH_engine.json", stream(map[string]float64{"BenchmarkNew": 500}))
+	failures, out, err := runCLI(t, "-baseline", baseDir, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 || !strings.Contains(out, "MISSING") {
+		t.Fatalf("dropped benchmark must fail the gate once:\n%s", out)
+	}
+	if !strings.Contains(out, "new") {
+		t.Fatalf("added benchmark should be reported as new:\n%s", out)
+	}
+}
+
+// TestStampIdempotent: stamping twice leaves one metadata line, and diff
+// mode surfaces it.
+func TestStampIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	p := writeBench(t, dir, "BENCH_engine.json", stream(map[string]float64{"BenchmarkX": 100}))
+	for i := 0; i < 2; i++ {
+		if _, _, err := runCLI(t, "-stamp", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(body), `"bench-meta"`); n != 1 {
+		t.Fatalf("want exactly one bench-meta line after re-stamping, got %d", n)
+	}
+	results, m, err := parseFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.GoVersion == "" || m.CPU == "" {
+		t.Fatalf("stamp metadata incomplete: %+v", m)
+	}
+	if results["BenchmarkX"] != 100 {
+		t.Fatalf("stamping corrupted the stream: %v", results)
+	}
+}
+
+// TestParseRealStreamShape parses the exact line shapes test2json emits,
+// including multiple -count repetitions (minimum wins) and secondary
+// metrics.
+func TestParseRealStreamShape(t *testing.T) {
+	dir := t.TempDir()
+	// test2json flushes the benchmark name as a partial-line event ending
+	// in \t, with the timing numbers in the following event — the parser
+	// must reassemble them (and still take the min across -count repeats).
+	body := `{"Time":"2026-01-01T00:00:00Z","Action":"run","Package":"catsim/internal/engine"}
+{"Action":"output","Package":"catsim/internal/engine","Output":"goos: linux\n"}
+{"Action":"output","Package":"catsim/internal/engine","Output":"=== RUN   BenchmarkEngineRun/default/64cores\n"}
+{"Action":"output","Package":"catsim/internal/engine","Output":"BenchmarkEngineRun/default/64cores\n"}
+{"Action":"output","Package":"catsim/internal/engine","Output":"BenchmarkEngineRun/default/64cores-64         \t"}
+{"Action":"output","Package":"catsim/internal/engine","Output":"      20\t  31415926 ns/op\t       245.0 ns/request\t    1952 B/op\t       6 allocs/op\n"}
+{"Action":"output","Package":"catsim/internal/engine","Output":"BenchmarkEngineRun/default/64cores-64         \t"}
+{"Action":"output","Package":"catsim/internal/engine","Output":"      20\t  29000000 ns/op\t       230.0 ns/request\t    1952 B/op\t       6 allocs/op\n"}
+{"Action":"pass","Package":"catsim/internal/engine"}
+`
+	p := writeBench(t, dir, "BENCH_engine.json", body)
+	results, _, err := parseFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := results["BenchmarkEngineRun/default/64cores"]
+	if !ok || got != 29000000 {
+		t.Fatalf("parse failed: %v", results)
+	}
+}

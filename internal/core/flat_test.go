@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"catsim/internal/rng"
+)
+
+// The flat implicit-heap tree must be observationally indistinguishable
+// from the pointer-linked reference: same Access return values on every
+// call, same statistics, same occupancy, same DRCAT reconfiguration
+// decisions. These differential tests drive both implementations with
+// identical traces — uniform random rows, hammering storms that force
+// refresh/reconfigure churn, and interval boundaries — and fail on the
+// first divergence.
+
+// diffConfigs spans the shapes that exercise every code path: tiny trees,
+// the paper's defaults, saturated trees (M == leaves at presplit), deep
+// ladders, and wide weight registers.
+func diffConfigs() []Config {
+	return []Config{
+		{Rows: 1024, Counters: 16, MaxLevels: 8, RefreshThreshold: 64, Policy: PRCAT},
+		{Rows: 1024, Counters: 16, MaxLevels: 8, RefreshThreshold: 64, Policy: DRCAT},
+		{Rows: 4096, Counters: 64, MaxLevels: 11, RefreshThreshold: 512, Policy: DRCAT},
+		{Rows: 4096, Counters: 64, MaxLevels: 11, RefreshThreshold: 512, Policy: PRCAT},
+		{Rows: 512, Counters: 4, MaxLevels: 10, RefreshThreshold: 32, Policy: DRCAT, WeightBits: 3},
+		{Rows: 256, Counters: 8, MaxLevels: 9, RefreshThreshold: 16, Policy: DRCAT, PreSplit: 1},
+		{Rows: 256, Counters: 1, MaxLevels: 5, RefreshThreshold: 16, Policy: DRCAT},
+		{Rows: 2048, Counters: 2048, MaxLevels: 12, RefreshThreshold: 128, Policy: DRCAT},
+	}
+}
+
+// comparePair asserts both trees agree on one access and on all summary
+// state. step identifies the failing access in the trace.
+func comparePair(t *testing.T, ref *Tree, flat *FlatTree, row, step int) {
+	t.Helper()
+	rl, rh, rr := ref.Access(row)
+	fl, fh, fr := flat.Access(row)
+	if rl != fl || rh != fh || rr != fr {
+		t.Fatalf("step %d row %d: pointer (%d,%d,%v) != flat (%d,%d,%v)",
+			step, row, rl, rh, rr, fl, fh, fr)
+	}
+	if ref.Stats() != flat.Stats() {
+		t.Fatalf("step %d: stats diverge\npointer %+v\nflat    %+v", step, ref.Stats(), flat.Stats())
+	}
+	if ref.ActiveCounters() != flat.ActiveCounters() || ref.Full() != flat.Full() {
+		t.Fatalf("step %d: occupancy diverges: pointer %d/%v, flat %d/%v",
+			step, ref.ActiveCounters(), ref.Full(), flat.ActiveCounters(), flat.Full())
+	}
+}
+
+// compareWeights checks the weight-register multiset matches (the two
+// layouts report weights in different orders).
+func compareWeights(t *testing.T, ref *Tree, flat *FlatTree, step int) {
+	t.Helper()
+	rw, fw := ref.Weights(), flat.Weights()
+	if len(rw) != len(fw) {
+		t.Fatalf("step %d: weight count %d != %d", step, len(rw), len(fw))
+	}
+	sort.Slice(rw, func(i, j int) bool { return rw[i] < rw[j] })
+	sort.Slice(fw, func(i, j int) bool { return fw[i] < fw[j] })
+	for i := range rw {
+		if rw[i] != fw[i] {
+			t.Fatalf("step %d: weight multisets diverge: %v vs %v", step, rw, fw)
+		}
+	}
+}
+
+func newPair(t *testing.T, cfg Config) (*Tree, *FlatTree) {
+	t.Helper()
+	ref, err := NewTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := NewFlatTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, flat
+}
+
+// TestFlatMatchesPointerRandomTrace drives both trees with uniform random
+// rows plus periodic interval boundaries.
+func TestFlatMatchesPointerRandomTrace(t *testing.T) {
+	for _, cfg := range diffConfigs() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%s_M%d_R%d", cfg.Policy, cfg.Counters, cfg.Rows), func(t *testing.T) {
+			ref, flat := newPair(t, cfg)
+			src := rng.NewXoshiro256(42)
+			for step := 0; step < 60000; step++ {
+				row := int(rng.Float64(src) * float64(cfg.Rows))
+				comparePair(t, ref, flat, row, step)
+				if step%7919 == 7918 {
+					ref.OnIntervalBoundary()
+					flat.OnIntervalBoundary()
+					compareWeights(t, ref, flat, step)
+				}
+			}
+			compareWeights(t, ref, flat, -1)
+		})
+	}
+}
+
+// TestFlatMatchesPointerReconfigStorm hammers a small, periodically
+// shifting set of rows so counters hit the refresh threshold constantly —
+// the regime where DRCAT merges and splits on nearly every refresh and
+// any divergence in merge-candidate choice shows up immediately.
+func TestFlatMatchesPointerReconfigStorm(t *testing.T) {
+	for _, cfg := range diffConfigs() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%s_M%d_R%d", cfg.Policy, cfg.Counters, cfg.Rows), func(t *testing.T) {
+			ref, flat := newPair(t, cfg)
+			src := rng.NewXoshiro256(7)
+			base := 0
+			for step := 0; step < 80000; step++ {
+				if step%4096 == 4095 {
+					// Shift the hammered neighbourhood so the hot region
+					// moves, forcing merges of the now-cold subtree.
+					base = int(rng.Float64(src) * float64(cfg.Rows))
+				}
+				// Double-sided hammering around the moving base with an
+				// occasional far row to keep cold leaves populated.
+				var row int
+				switch step % 8 {
+				case 7:
+					row = int(rng.Float64(src) * float64(cfg.Rows))
+				case 3:
+					row = (base + 2) % cfg.Rows
+				default:
+					row = base % cfg.Rows
+				}
+				comparePair(t, ref, flat, row, step)
+				if step%17389 == 17388 {
+					ref.OnIntervalBoundary()
+					flat.OnIntervalBoundary()
+				}
+			}
+			st := flat.Stats()
+			if cfg.Policy == DRCAT && cfg.Counters >= 4 && cfg.Counters < cfg.Rows && st.Reconfigs == 0 {
+				t.Errorf("storm produced no reconfigs (refreshes %d) — test not exercising DRCAT surgery", st.RefreshEvents)
+			}
+			compareWeights(t, ref, flat, -1)
+		})
+	}
+}
+
+// TestFlatProtectionInvariant spot-checks the flat tree's own guarantee
+// independently of the reference: between refreshes of a row's
+// neighbourhood, no row accumulates more than RefreshThreshold
+// activations without Access reporting a refresh range covering it.
+func TestFlatProtectionInvariant(t *testing.T) {
+	cfg := Config{Rows: 512, Counters: 16, MaxLevels: 9, RefreshThreshold: 32, Policy: DRCAT}
+	flat, err := NewFlatTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := make([]uint32, cfg.Rows)
+	src := rng.NewXoshiro256(99)
+	hot := 100
+	for step := 0; step < 200000; step++ {
+		var row int
+		if rng.Float64(src) < 0.7 {
+			row = hot + step%3
+		} else {
+			row = int(rng.Float64(src) * float64(cfg.Rows))
+		}
+		acts[row]++
+		if acts[row] > cfg.RefreshThreshold {
+			t.Fatalf("step %d: row %d reached %d activations without refresh", step, row, acts[row])
+		}
+		lo, hi, refresh := flat.Access(row)
+		if refresh {
+			for r := lo; r <= hi; r++ {
+				acts[r] = 0
+			}
+		}
+		if step%5000 == 4999 {
+			flat.OnIntervalBoundary()
+			for i := range acts {
+				acts[i] = 0
+			}
+			hot = int(rng.Float64(src) * float64(cfg.Rows-8))
+		}
+	}
+}

@@ -36,6 +36,9 @@ func benchScheduler(b *testing.B, mk func(int) scheduler, cores int) {
 
 func BenchmarkScheduler(b *testing.B) {
 	for _, cores := range []int{2, 8, 64, 256} {
+		b.Run(fmt.Sprintf("tournament/%dcores", cores), func(b *testing.B) {
+			benchScheduler(b, func(n int) scheduler { return newTournamentScheduler(n) }, cores)
+		})
 		b.Run(fmt.Sprintf("heap/%dcores", cores), func(b *testing.B) {
 			benchScheduler(b, func(n int) scheduler { return newHeapScheduler(n) }, cores)
 		})
@@ -50,24 +53,26 @@ func BenchmarkScheduler(b *testing.B) {
 // ns/request so runs at different core counts compare directly.
 func BenchmarkEngineRun(b *testing.B) {
 	for _, cfg := range []struct {
-		cores  int
-		linear bool
+		name  string
+		cores int
+		sched Sched
+		batch bool
 	}{
-		{2, false},
-		{64, false},
-		{64, true},
-		{256, false},
+		// "default" is the production path: tournament scheduler plus
+		// batch-advance (what sim.Run configures). heap and linear run
+		// without batching as the reference points.
+		{"default", 2, SchedAuto, true},
+		{"default", 64, SchedAuto, true},
+		{"heap", 64, SchedHeap, false},
+		{"linear", 64, SchedLinear, false},
+		{"default", 256, SchedAuto, true},
 	} {
-		name := fmt.Sprintf("heap/%dcores", cfg.cores)
-		if cfg.linear {
-			name = fmt.Sprintf("linear/%dcores", cfg.cores)
-		}
-		b.Run(name, func(b *testing.B) {
+		b.Run(fmt.Sprintf("%s/%dcores", cfg.name, cfg.cores), func(b *testing.B) {
 			const reqPerCore = 2000
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				h := makeHarness(b, cfg.cores, reqPerCore, 512, cfg.linear, 0)
+				h := makeHarness(b, cfg.cores, reqPerCore, 512, cfg.sched, cfg.batch, 0)
 				b.StartTimer()
 				if _, err := Run(h.cfg); err != nil {
 					b.Fatal(err)

@@ -66,9 +66,56 @@ type Config struct {
 	CPUCycleNS float64
 	BusCycleNS float64
 
+	// Sched selects the scheduler implementation; SchedAuto (the zero
+	// value) picks the packed-key tournament tree, falling back to the
+	// binary heap past maxTournamentCores.
+	Sched Sched
 	// LinearScan selects the O(cores) reference scheduler instead of the
-	// min-heap — for the equivalence test and benchmarks only.
+	// min-heap — for the equivalence test and benchmarks only. Equivalent
+	// to Sched == SchedLinear; kept for existing callers.
 	LinearScan bool
+	// Batch drains each core's requests in a run while its clock stays
+	// below the next-best core's — the exact condition under which the
+	// scheduler would pick it again — amortizing one pick/update pair over
+	// the whole run. Observationally identical to per-request scheduling;
+	// locked by the scheduler equivalence test.
+	Batch bool
+}
+
+// Sched names a scheduler implementation.
+type Sched int
+
+const (
+	// SchedAuto lets the engine choose (tournament, or heap when the core
+	// count exceeds the packed-key index width).
+	SchedAuto Sched = iota
+	// SchedTournament forces the loser-tree scheduler.
+	SchedTournament
+	// SchedHeap forces the binary min-heap.
+	SchedHeap
+	// SchedLinear forces the O(cores) reference scan.
+	SchedLinear
+)
+
+// newScheduler resolves the configured scheduler for n cores.
+func (c *Config) newScheduler(n int) scheduler {
+	sel := c.Sched
+	if c.LinearScan && sel == SchedAuto {
+		sel = SchedLinear
+	}
+	switch sel {
+	case SchedLinear:
+		return newLinearScheduler(n)
+	case SchedHeap:
+		return newHeapScheduler(n)
+	case SchedTournament:
+		return newTournamentScheduler(n)
+	default:
+		if n > maxTournamentCores {
+			return newHeapScheduler(n)
+		}
+		return newTournamentScheduler(n)
+	}
 }
 
 func (c *Config) validate() error {
@@ -207,12 +254,7 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	n := len(cfg.Cores)
-	var sched scheduler
-	if cfg.LinearScan {
-		sched = newLinearScheduler(n)
-	} else {
-		sched = newHeapScheduler(n)
-	}
+	sched := cfg.newScheduler(n)
 	left := make([]int, n)
 	for i := range left {
 		left[i] = cfg.Cores[i].Requests
@@ -230,6 +272,17 @@ func Run(cfg Config) (Result, error) {
 		// epoch sampler slices.
 		ci := sched.pick()
 		cs := &cfg.Cores[ci]
+		// In batch mode, keep draining this core while its key stays
+		// strictly below the best other core's — exactly when pick would
+		// select it again — paying one pick/bound/update for the whole run
+		// instead of per request. The scheduler is static during the run,
+		// so the bound fetched here stays valid until the update below.
+		var boundClock int64
+		var boundIdx int32
+		if cfg.Batch {
+			boundClock, boundIdx = sched.bound(ci)
+		}
+	drain:
 		if smp != nil {
 			for cs.CPU.Now >= smp.nextCPU {
 				smp.flush(smp.nextCPU)
@@ -296,9 +349,14 @@ func Run(cfg Config) (Result, error) {
 		if left[ci] == 0 {
 			sched.remove(ci)
 			remaining--
-		} else {
-			sched.update(ci, cs.CPU.Now)
+			continue
 		}
+		if cfg.Batch {
+			if now := cs.CPU.Now; now < boundClock || (now == boundClock && int32(ci) < boundIdx) {
+				goto drain
+			}
+		}
+		sched.update(ci, cs.CPU.Now)
 	}
 
 	var endCPU int64

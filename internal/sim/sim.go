@@ -408,6 +408,7 @@ func Run(cfg Config) (Result, error) {
 		EpochCPU:        int64(cfg.EpochNS / cpuNS),
 		CPUCycleNS:      cpuNS,
 		BusCycleNS:      1000.0 / float64(cfg.Timing.BusMHz),
+		Batch:           true,
 	})
 	if err != nil {
 		return Result{}, err

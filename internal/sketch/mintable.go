@@ -12,6 +12,10 @@ import "fmt"
 type MinTable struct {
 	keys   []int64 // -1 = empty
 	counts []uint32
+	// filled counts occupied slots. Slots fill strictly left to right and
+	// are never vacated short of Reset, so the first empty slot is always
+	// index filled — no occupancy scan needed.
+	filled int
 }
 
 // NewMinTable builds an empty table with the given entry count.
@@ -30,14 +34,18 @@ func NewMinTable(entries int) (*MinTable, error) {
 func (t *MinTable) Cap() int { return len(t.keys) }
 
 // Live returns the number of occupied entries.
-func (t *MinTable) Live() int {
-	n := 0
-	for _, k := range t.keys {
-		if k != -1 {
-			n++
-		}
+func (t *MinTable) Live() int { return t.filled }
+
+// argmin returns the index of the smallest count (lowest index on ties).
+// Packing (count, index) into one uint64 turns the scan into a pure min
+// reduction over a flat array — one conditional move per element, no
+// data-dependent branches.
+func argmin(counts []uint32) int {
+	best := ^uint64(0)
+	for i, v := range counts {
+		best = min(best, uint64(v)<<32|uint64(i))
 	}
-	return n
+	return int(best & 0xffffffff)
 }
 
 // Find returns the index tracking key, or -1.
@@ -54,21 +62,18 @@ func (t *MinTable) Find(key int64) int {
 // evicting the minimum-count entry. It returns the displaced key and its
 // count; evicted is false when a free slot absorbed the insertion.
 func (t *MinTable) Insert(key int64, count uint32) (evictedKey int64, evictedCount uint32, evicted bool) {
-	slot := -1
-	for i, k := range t.keys {
-		if k == -1 {
-			slot = i
-			break
-		}
-		if slot == -1 || t.counts[i] < t.counts[slot] {
-			slot = i
-		}
+	if t.filled < len(t.keys) {
+		slot := t.filled
+		t.filled++
+		t.keys[slot] = key
+		t.counts[slot] = count
+		return -1, 0, false
 	}
+	slot := argmin(t.counts)
 	evictedKey, evictedCount = t.keys[slot], t.counts[slot]
-	evicted = evictedKey != -1
 	t.keys[slot] = key
 	t.counts[slot] = count
-	return evictedKey, evictedCount, evicted
+	return evictedKey, evictedCount, true
 }
 
 // Key returns the key at idx (-1 when empty).
@@ -92,4 +97,5 @@ func (t *MinTable) Reset() {
 		t.keys[i] = -1
 		t.counts[i] = 0
 	}
+	t.filled = 0
 }

@@ -66,18 +66,24 @@ func (m *MisraGries) Find(key int64) int {
 // Insert reports ok=false — the key stays untracked, bounded by the new
 // floor. evicted is the replaced key (-1 when a free slot was used).
 func (m *MisraGries) Insert(key int64) (idx int, evicted int64, ok bool) {
-	full := m.filled == len(m.keys)
+	if m.filled < len(m.keys) {
+		// Slots fill strictly left to right and are never vacated short of
+		// Reset, so the first empty slot is always index filled.
+		slot := m.filled
+		m.filled++
+		m.keys[slot] = key
+		m.counts[slot] = m.spill + 1
+		m.index[key] = slot
+		return slot, -1, true
+	}
+	// Full: replace the first entry sitting at the spillover floor. The
+	// scan is a flat equality pass over the count slab alone; keys are only
+	// touched for the single evicted slot.
 	slot := -1
-	for i, k := range m.keys {
-		if k == -1 {
+	for i, v := range m.counts {
+		if v == m.spill {
 			slot = i
 			break
-		}
-		if slot == -1 && m.counts[i] == m.spill {
-			slot = i
-			if full {
-				break // no empty slot to prefer over the floor entry
-			}
 		}
 	}
 	if slot == -1 {
@@ -85,11 +91,7 @@ func (m *MisraGries) Insert(key int64) (idx int, evicted int64, ok bool) {
 		return -1, -1, false
 	}
 	evicted = m.keys[slot]
-	if evicted == -1 {
-		m.filled++
-	} else {
-		delete(m.index, evicted)
-	}
+	delete(m.index, evicted)
 	m.keys[slot] = key
 	m.counts[slot] = m.spill + 1
 	m.index[key] = slot

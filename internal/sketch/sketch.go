@@ -69,43 +69,42 @@ func NewCountMin(width, depth int, seed uint64) (*CountMin, error) {
 // the energy model costs.
 func (c *CountMin) Counters() int { return c.width * c.depth }
 
-// hash fills c.idx with the per-depth counter indices for key.
-func (c *CountMin) hash(key int64) {
+// hashMin fills c.idx with the per-depth counter indices for key and
+// returns the minimum of the indexed counters. Hashing, index formation
+// and the min reduction run in one pass so each counter row is touched
+// exactly once, and the min accumulates branchlessly (the compare outcome
+// is data-dependent, so a conditional move beats a mispredicting branch).
+func (c *CountMin) hashMin(key int64) uint32 {
+	m := ^uint32(0)
 	for d := 0; d < c.depth; d++ {
-		c.idx[d] = d*c.width + int(splitmix64(uint64(key)^c.seeds[d])%uint64(c.width))
+		i := d*c.width + int(splitmix64(uint64(key)^c.seeds[d])%uint64(c.width))
+		c.idx[d] = i
+		m = min(m, c.counters[i])
 	}
+	return m
 }
 
 // Estimate returns the current over-estimate of key's count: the minimum
 // of its depth counters.
 func (c *CountMin) Estimate(key int64) uint32 {
-	c.hash(key)
-	min := c.counters[c.idx[0]]
-	for _, i := range c.idx[1:] {
-		if v := c.counters[i]; v < min {
-			min = v
-		}
-	}
-	return min
+	return c.hashMin(key)
 }
 
 // Update counts one occurrence of key with the conservative-update rule
 // (only counters equal to the current minimum are incremented) and returns
 // the new estimate.
 func (c *CountMin) Update(key int64) uint32 {
-	c.hash(key)
-	min := c.counters[c.idx[0]]
-	for _, i := range c.idx[1:] {
-		if v := c.counters[i]; v < min {
-			min = v
-		}
-	}
+	m := c.hashMin(key)
 	for _, i := range c.idx {
-		if c.counters[i] == min {
-			c.counters[i] = min + 1
+		// Unconditional read-modify-write with a branch-free increment:
+		// counters above the minimum are rewritten unchanged.
+		v := c.counters[i]
+		if v == m {
+			v++
 		}
+		c.counters[i] = v
 	}
-	return min + 1
+	return m + 1
 }
 
 // Decay halves every counter shift times (counter >>= shift), the aging

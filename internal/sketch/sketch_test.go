@@ -52,7 +52,7 @@ func TestCountMinConservativeUpdateTightensEstimates(t *testing.T) {
 	for _, k := range stream {
 		cons.Update(k)
 		// Plain increment: bump every counter of the key.
-		plain.hash(k)
+		plain.hashMin(k)
 		for _, i := range plain.idx {
 			plain.counters[i]++
 		}

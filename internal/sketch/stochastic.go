@@ -22,6 +22,9 @@ type Stochastic struct {
 	counts []uint32
 	src    rng.Source
 	draws  int64
+	// filled counts occupied slots; slots fill left to right and are never
+	// vacated short of Reset, so the first empty slot is index filled.
+	filled int
 }
 
 // NewStochastic builds an empty table drawing its replacement decisions
@@ -44,15 +47,7 @@ func NewStochastic(entries int, src rng.Source) (*Stochastic, error) {
 func (s *Stochastic) Cap() int { return len(s.keys) }
 
 // Live returns the number of occupied entries.
-func (s *Stochastic) Live() int {
-	n := 0
-	for _, k := range s.keys {
-		if k != -1 {
-			n++
-		}
-	}
-	return n
-}
+func (s *Stochastic) Live() int { return s.filled }
 
 // Draws returns how many random decisions have been made (one per miss on
 // a full table), for PRNG-energy accounting.
@@ -73,25 +68,21 @@ func (s *Stochastic) Find(key int64) int {
 // replaced with probability 1/(min+1), the new entry inheriting count
 // min+1. idx is -1 when the key ends up untracked.
 func (s *Stochastic) Observe(key int64) (idx int, count uint32) {
-	empty, minIdx := -1, -1
-	for i, k := range s.keys {
+	// Hit path: a flat scan of the occupied key prefix only.
+	for i, k := range s.keys[:s.filled] {
 		if k == key {
 			s.counts[i]++
 			return i, s.counts[i]
 		}
-		if k == -1 {
-			if empty == -1 {
-				empty = i
-			}
-		} else if minIdx == -1 || s.counts[i] < s.counts[minIdx] {
-			minIdx = i
-		}
 	}
-	if empty != -1 {
-		s.keys[empty] = key
-		s.counts[empty] = 1
-		return empty, 1
+	if s.filled < len(s.keys) {
+		slot := s.filled
+		s.filled++
+		s.keys[slot] = key
+		s.counts[slot] = 1
+		return slot, 1
 	}
+	minIdx := argmin(s.counts)
 	min := s.counts[minIdx]
 	s.draws++
 	if rng.Float64(s.src)*float64(min+1) >= 1 {
@@ -114,4 +105,5 @@ func (s *Stochastic) Reset() {
 		s.keys[i] = -1
 		s.counts[i] = 0
 	}
+	s.filled = 0
 }
