@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-sketch bench-engine bench-gate-files bench-diff bench-accept repro golden golden-check
+.PHONY: all build fmt vet lint test race bench bench-sketch bench-engine bench-gate-files bench-diff bench-accept repro golden golden-check replay-check
 
 all: build fmt vet test
 
@@ -108,3 +108,16 @@ golden-check:
 	diff -u cmd/experiments/testdata/golden-scale005.txt /tmp/catsim-golden.txt
 	/tmp/catsim-experiments $(GOLDEN_FLAGS) -format json > /tmp/catsim-golden.json
 	/tmp/catsim-experiments -validate-json /tmp/catsim-golden.json
+
+# The capture/replay determinism gate: a live open-loop run and a replay
+# of the same configuration's captured v1 trace must print byte-identical
+# Result JSON (the trace pipeline's core contract, also test-enforced in
+# internal/sim and cmd/replay).
+REPLAY_FLAGS = -workload ol-bursty -requests 4000 -attacker 0.25 -threshold 1600 -seed 7
+replay-check:
+	$(GO) build -o /tmp/catsim-replay ./cmd/replay
+	/tmp/catsim-replay $(REPLAY_FLAGS) -json > /tmp/catsim-live.json
+	/tmp/catsim-replay $(REPLAY_FLAGS) -capture -o /tmp/catsim-trace.v1
+	/tmp/catsim-replay $(REPLAY_FLAGS) -trace /tmp/catsim-trace.v1 -json > /tmp/catsim-replay.json
+	diff /tmp/catsim-live.json /tmp/catsim-replay.json
+	/tmp/catsim-replay $(REPLAY_FLAGS) -trace /tmp/catsim-trace.v1 -scheme sca:counters=128 > /dev/null

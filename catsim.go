@@ -44,6 +44,7 @@ import (
 	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
+	"catsim/internal/workload"
 )
 
 // Tree is one Counter-based Adaptive Tree instance (one per DRAM bank).
@@ -169,6 +170,61 @@ func RunPair(cfg SimConfig) (sim.PairResult, error) { return sim.RunPair(cfg) }
 
 // Workloads returns the paper's 18 named synthetic workload models.
 func Workloads() []trace.Spec { return trace.Workloads() }
+
+// WorkloadConfig is one open-loop workload: an arrival process (Poisson,
+// bursty on/off, diurnal phases) fanned out over one or more sources, all
+// drawing from a shared multi-tenant cohort. Attach one via
+// SimConfig.OpenLoop; per-tenant attribution lands in SimResult.Tenants.
+type WorkloadConfig = workload.Config
+
+// TenantStat is one tenant's attribution from an open-loop run: its
+// owned-row activations, the victim-refresh rows that landed in its span,
+// and (on protection runs) its share of oracle exposure.
+type TenantStat = workload.TenantStat
+
+// ArrivalSpec describes an open-loop arrival process (Poisson, bursty
+// on/off, or a diurnal phase schedule).
+type ArrivalSpec = workload.ArrivalSpec
+
+// ParseArrival parses the compact arrival grammar, e.g.
+// "poisson:rate=2.8e8" or "bursty:rate=2.8e8,on=0.25,burst=50000".
+func ParseArrival(s string) (ArrivalSpec, error) { return workload.ParseArrival(s) }
+
+// AttackerSpec embeds one attacker tenant in a cohort: a fraction of all
+// arrivals runs a kernel-attack generator instead of benign traffic.
+type AttackerSpec = workload.AttackerSpec
+
+// Attack patterns for AttackerSpec (and the protection harness).
+const (
+	// PatternGaussian runs the paper's Gaussian kernel attacks (the zero value).
+	PatternGaussian = trace.PatternGaussian
+	// PatternDoubleSided hammers aggressor pairs around each victim.
+	PatternDoubleSided = trace.PatternDoubleSided
+)
+
+// OpenWorkloads returns the named open-loop presets (the ol-* names).
+func OpenWorkloads() []WorkloadConfig { return workload.Presets() }
+
+// LookupOpenWorkload finds an open-loop preset by name.
+func LookupOpenWorkload(name string) (WorkloadConfig, error) { return workload.Lookup(name) }
+
+// TraceContainer is a captured set of request streams in the versioned
+// (v1, checksummed) trace file format: closed-loop per-core streams timed
+// by inter-request gaps and open-loop streams timed by absolute arrivals.
+type TraceContainer = trace.Container
+
+// Capture records the exact request sequence Run(cfg) would consume —
+// without simulating the memory system — into a container that replays
+// byte-identically: Run with SimConfig.Replay set to the container (and
+// the same seed/threshold/scheme) returns the same SimResult as the live
+// run, under any scheme spec.
+func Capture(cfg SimConfig) (*TraceContainer, error) { return sim.Capture(cfg) }
+
+// WriteTrace writes a container in the v1 format, checksum included.
+func WriteTrace(w io.Writer, c *TraceContainer) error { return trace.WriteContainer(w, c) }
+
+// ReadTrace parses a v1 trace file, verifying version and checksum.
+func ReadTrace(r io.Reader) (*TraceContainer, error) { return trace.ReadContainer(r) }
 
 // ExperimentOptions configures the figure/table generators.
 type ExperimentOptions = experiments.Options

@@ -2,6 +2,7 @@ package catsim
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -166,6 +167,7 @@ func TestReproduceAllCoversRegistry(t *testing.T) {
 		"fig13":     "Fig. 13:",
 		"figx":      "Fig. X",
 		"figt":      "Fig. T",
+		"figw":      "Fig. W",
 		"ablations": "Ablation:",
 		"headlines": "Headline claims",
 	}
@@ -203,5 +205,54 @@ func TestReproduceAllAnalyticPieces(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "Chipkill") || !strings.Contains(out, "Table I") {
 		t.Error("missing sections")
+	}
+}
+
+// TestFacadeOpenLoopCaptureReplay exercises the workload/trace surface:
+// an open-loop preset runs with per-tenant attribution, and a capture
+// round-tripped through the v1 byte format replays to the identical
+// SimResult.
+func TestFacadeOpenLoopCaptureReplay(t *testing.T) {
+	if len(OpenWorkloads()) == 0 {
+		t.Fatal("no open-loop presets")
+	}
+	ol, err := LookupOpenWorkload("ol-poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol.Requests = 3000
+	cfg := SimConfig{
+		Geometry: Default2Channel(), OpenLoop: &ol,
+		Scheme:    sim.SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+		Threshold: 64, ThresholdScale: 0.03, IntervalNS: 2e6, Seed: 5,
+	}
+	live, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Tenants) == 0 {
+		t.Fatal("open-loop run returned no tenant attribution")
+	}
+
+	c, err := Capture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Replay = c2
+	replayed, err := Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replayed) {
+		t.Error("replayed SimResult differs from the live run")
 	}
 }

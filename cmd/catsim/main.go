@@ -13,6 +13,13 @@
 //
 //	catsim -workload comm1 -scheme comet:counters=512,depth=4
 //	catsim -workload black -scheme drcat:threshold=16384,counters=64,levels=11
+//
+// Open-loop multi-tenant workloads (the ol-* presets, see -list) replace
+// the per-core closed loop with timestamped arrivals over a tenant
+// cohort and report per-tenant attribution; -attacker embeds an attacker
+// tenant issuing that fraction of all arrivals:
+//
+//	catsim -workload ol-poisson -scheme DRCAT -attacker 0.1
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
+	wlpkg "catsim/internal/workload"
 )
 
 func main() {
@@ -43,6 +51,7 @@ func main() {
 		scale     = flag.Float64("scale", 0.25, "run scale (1 = one full 64 ms interval)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		attack    = flag.String("attack", "", "kernel attack mode: heavy, medium, light")
+		attacker  = flag.Float64("attacker", 0, "open-loop attacker tenant's fraction of arrivals (ol-* workloads)")
 		kernel    = flag.Int("kernel", 0, "kernel attack number (0..11)")
 		oracle    = flag.Bool("oracle", false, "attach the crosstalk oracle (verifies protection)")
 		parallel  = flag.Int("parallel", 0, "concurrent runs for the scheme/baseline pair (0 = GOMAXPROCS)")
@@ -55,11 +64,21 @@ func main() {
 			fmt.Printf("%-8s %-6s gap=%-4d hot=%.2f sweep=%.2f spots=%d\n",
 				s.Name, s.Suite, s.GapMean, s.HotFraction, s.SweepFraction, s.HotSpots)
 		}
+		for _, c := range wlpkg.Presets() {
+			fmt.Printf("%-16s open-loop %s tenants=%d\n", c.Name, c.Arrival, c.Cohort.Tenants)
+		}
 		return
 	}
 
-	wl, err := trace.Lookup(*workload)
-	fatal(err)
+	// Open-loop preset names route to the workload package; everything
+	// else is a closed-loop trace workload.
+	var wl trace.Spec
+	ol, olErr := wlpkg.Lookup(*workload)
+	if olErr != nil {
+		var err error
+		wl, err = trace.Lookup(*workload)
+		fatal(err)
+	}
 
 	var spec sim.SchemeSpec
 	if strings.Contains(*scheme, ":") {
@@ -109,9 +128,6 @@ func main() {
 	cfg := sim.Config{
 		Geometry:           geom,
 		ChannelInterleaved: *fourCh,
-		Cores:              *cores,
-		RequestsPerCore:    int(204.8e6 / float64(wl.GapMean) * *scale),
-		Workload:           wl,
 		Scheme:             spec,
 		Threshold:          uint32(float64(*threshold) * *scale),
 		ThresholdScale:     *scale,
@@ -119,7 +135,31 @@ func main() {
 		Seed:               *seed,
 		CheckProtection:    *oracle,
 	}
+	if olErr == nil {
+		// Size the open-loop budget like the closed loop: the mean arrival
+		// rate sustained for the scaled auto-refresh interval.
+		ol.Requests = int(ol.Arrival.MeanRateRPS() * dram.RefreshIntervalNS() * *scale * 1e-9)
+		if ol.Requests < 2000 {
+			ol.Requests = 2000
+		}
+		if *attacker > 0 {
+			ol.Cohort.Attacker = &wlpkg.AttackerSpec{
+				Fraction: *attacker, Mode: trace.Heavy, Pattern: trace.PatternDoubleSided,
+			}
+		}
+		cfg.OpenLoop = &ol
+	} else {
+		cfg.Cores = *cores
+		cfg.RequestsPerCore = int(204.8e6 / float64(wl.GapMean) * *scale)
+		cfg.Workload = wl
+		if *attacker > 0 {
+			fatal(fmt.Errorf("-attacker needs an open-loop workload (ol-*), got %q", *workload))
+		}
+	}
 	if *attack != "" {
+		if olErr == nil {
+			fatal(fmt.Errorf("-attack drives closed-loop cores; use -attacker with open-loop workloads"))
+		}
 		var mode trace.AttackMode
 		switch strings.ToLower(*attack) {
 		case "heavy":
@@ -141,7 +181,11 @@ func main() {
 	pair, err := eng.Pair(context.Background(), cfg)
 	fatal(err)
 	r, baseline := pair.Result, pair.Baseline
-	fmt.Printf("workload   %s (%s)\n", wl.Name, wl.Suite)
+	if olErr == nil {
+		fmt.Printf("workload   %s (open-loop %s, %d requests)\n", ol.Name, ol.Arrival, ol.Requests)
+	} else {
+		fmt.Printf("workload   %s (%s)\n", wl.Name, wl.Suite)
+	}
 	fmt.Printf("scheme     %s, T=%d (scale %.2f)\n", spec.Label(uint32(*threshold)), *threshold, *scale)
 	fmt.Printf("exec       %.3f ms (baseline %.3f ms)\n", r.ExecNS/1e6, baseline.ExecNS/1e6)
 	fmt.Printf("activations %d, victim rows refreshed %d (%d commands)\n",
@@ -152,6 +196,26 @@ func main() {
 		r.CMRPO*100, b.DynamicMW/2.5*100, b.StaticMW/2.5*100, b.RefreshMW/2.5*100,
 		b.PRNGMW/2.5*100, b.MissMW/2.5*100)
 	fmt.Printf("ETO        %.3f%%\n", pair.ETO*100)
+	if len(r.Tenants) > 0 {
+		var benignActs, benignRows int64
+		var hit int
+		for _, ts := range r.Tenants {
+			if ts.Attacker {
+				continue
+			}
+			benignActs += ts.Acts
+			benignRows += ts.RowsRefreshed
+			if ts.RowsRefreshed > 0 {
+				hit++
+			}
+		}
+		fmt.Printf("tenants    %d (%d with refreshed rows); benign acts %d, benign rows refreshed %d\n",
+			len(r.Tenants), hit, benignActs, benignRows)
+		if last := r.Tenants[len(r.Tenants)-1]; last.Attacker {
+			fmt.Printf("attacker   acts %d, rows refreshed in its span %d\n",
+				last.Acts, last.RowsRefreshed)
+		}
+	}
 	if *oracle {
 		verdict := "protection verified: no victim exceeded T"
 		if r.OracleViolations > 0 {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCaptureReplayMatchesLiveRun drives all three modes through run():
+// a live run, a capture of the same configuration, and a replay of that
+// capture must print byte-identical JSON Results — the contract the CI
+// replay-check target enforces.
+func TestCaptureReplayMatchesLiveRun(t *testing.T) {
+	tr := filepath.Join(t.TempDir(), "t.v1")
+	wl := []string{"-workload", "ol-bursty", "-requests", "3000",
+		"-attacker", "0.25", "-threshold", "1600", "-seed", "7"}
+
+	exec := func(args ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		if code := run(append(append([]string{}, wl...), args...), &out, &errb); code != 0 {
+			t.Fatalf("run %v: exit %d\n%s", args, code, errb.String())
+		}
+		return out.String()
+	}
+
+	live := exec("-json")
+	exec("-capture", "-o", tr)
+	replayed := exec("-trace", tr, "-json")
+	if live != replayed {
+		t.Errorf("replayed Result differs from the live run:\n--- live ---\n%s--- replay ---\n%s",
+			live, replayed)
+	}
+	if !strings.Contains(live, `"Tenants"`) {
+		t.Error("Result JSON carries no per-tenant attribution")
+	}
+
+	// The human summary of the replay names the attacker tenant.
+	sum := exec("-trace", tr)
+	if !strings.Contains(sum, "attacker") {
+		t.Errorf("summary lacks the attacker line:\n%s", sum)
+	}
+
+	// A different scheme replays the same file without error.
+	other := exec("-trace", tr, "-scheme", "sca:counters=128", "-json")
+	if other == replayed {
+		t.Error("sca replay produced the drcat Result — scheme flag ignored")
+	}
+}
+
+// TestClosedLoopCaptureReplay exercises the per-core closed-loop path.
+func TestClosedLoopCaptureReplay(t *testing.T) {
+	tr := filepath.Join(t.TempDir(), "closed.v1")
+	wl := []string{"-workload", "black", "-requests", "2000", "-cores", "2"}
+
+	exec := func(args ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		if code := run(append(append([]string{}, wl...), args...), &out, &errb); code != 0 {
+			t.Fatalf("run %v: exit %d\n%s", args, code, errb.String())
+		}
+		return out.String()
+	}
+
+	live := exec("-json")
+	exec("-capture", "-o", tr)
+	if replayed := exec("-trace", tr, "-json"); live != replayed {
+		t.Error("closed-loop replay differs from the live run")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "nope"}, &out, &errb); code != 1 {
+		t.Errorf("unknown workload: exit %d, want 1", code)
+	}
+	for _, want := range []string{"ol-poisson", "black"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("error %q does not list %q", errb.String(), want)
+		}
+	}
+	errb.Reset()
+	if code := run([]string{"-capture", "-trace", "x"}, &out, &errb); code != 2 {
+		t.Errorf("-capture with -trace: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-workload", "black", "-attacker", "0.1"}, &out, &errb); code != 1 {
+		t.Errorf("closed workload with -attacker: exit %d, want 1", code)
+	}
+}

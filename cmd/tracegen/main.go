@@ -4,11 +4,18 @@
 //
 // Usage:
 //
-//	tracegen -workload black -n 20 -dump          # raw requests
+//	tracegen -workload black -n 20 -dump          # raw requests (text)
 //	tracegen -workload black -n 2000000 -hist     # bank histogram summary
+//	tracegen -workload black -n 5000 -format v1 -o black.v1
+//	                                              # versioned binary trace
+//
+// -format v1 writes the generated stream as a v1 trace container — the
+// same checksummed format cmd/replay captures and replays — instead of
+// the legacy text dump.
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -37,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Uint64("seed", 1, "random seed")
 		dump     = fs.Bool("dump", false, "dump raw requests to stdout")
 		hist     = fs.Bool("hist", true, "print per-bank histogram summary")
+		format   = fs.String("format", "text", "output format: text (legacy dump/hist) or v1 (binary trace container)")
+		out      = fs.String("o", "", "v1 output file (default stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -68,6 +77,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "tracegen:", err)
 		return 1
+	}
+
+	switch *format {
+	case "text":
+	case "v1":
+		// One closed-loop stream in the versioned container cmd/replay
+		// replays; the checksum makes truncation/corruption detectable.
+		reqs := make([]trace.Request, *n)
+		for i := range reqs {
+			reqs[i] = gen.Next()
+		}
+		c := &trace.Container{
+			Geometry: geom,
+			Streams:  []trace.Stream{{Name: wl.Name, Reqs: reqs}},
+		}
+		w := bufio.NewWriter(stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(stderr, "tracegen:", err)
+				return 1
+			}
+			defer f.Close()
+			w = bufio.NewWriter(f)
+		}
+		if err := trace.WriteContainer(w, c); err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "tracegen: wrote %d requests (digest %016x)\n", *n, c.Digest())
+		return 0
+	default:
+		return usage(fmt.Errorf("unknown format %q", *format),
+			"hint: -format text or -format v1")
 	}
 
 	if *dump {

@@ -36,11 +36,51 @@ type CoreSlot struct {
 	Requests int
 }
 
+// OpenSource is an open-loop request stream: each request carries its own
+// absolute arrival time in CPU cycles instead of deriving timing from a
+// core's retire loop. Arrival times must be non-decreasing (the engine
+// clamps a regression to keep the schedule causal, but sources should not
+// rely on that).
+type OpenSource interface {
+	// Next returns the next request and its arrival time in CPU cycles.
+	Next() (trace.Request, int64)
+	Name() string
+}
+
+// OpenSlot couples one open-loop source with its request budget. Open
+// slots schedule alongside cores in the same (clock, index) order — open
+// slot j occupies scheduler index len(Cores)+j — so epochs, interval
+// boundaries and bank contention interleave causally with closed-loop
+// traffic. Open requests hit the controller at their arrival time: there
+// is no issue window and no retire backpressure, which is the point of an
+// open-loop model.
+type OpenSlot struct {
+	Gen OpenSource
+	// Requests is the number of arrivals the slot issues before retiring.
+	Requests int
+}
+
+// Attributor observes every activation and victim refresh in tracked row
+// space — the hook per-tenant workload attribution rides. Both methods
+// run on the request hot path and must not allocate.
+type Attributor interface {
+	// OnActivate sees each activation's flat bank and tracked row.
+	OnActivate(bank, row int)
+	// OnRefresh sees each victim-refresh range (inclusive rows).
+	OnRefresh(bank, lo, hi int)
+}
+
 // Config wires pre-built components into one engine run. The engine owns
 // the event loop only: callers construct (and afterwards interrogate) the
 // controller, scheme and oracle themselves.
 type Config struct {
-	Cores    []CoreSlot
+	Cores []CoreSlot
+	// Open attaches open-loop arrival streams next to the closed-loop
+	// cores (either side may be empty, not both).
+	Open []OpenSlot
+	// Attr, when non-nil, observes every activation and victim refresh
+	// (per-tenant attribution).
+	Attr     Attributor
 	Ctrl     *memctrl.Controller
 	Policy   addrmap.Policy
 	Geometry dram.Geometry
@@ -120,8 +160,8 @@ func (c *Config) newScheduler(n int) scheduler {
 
 func (c *Config) validate() error {
 	switch {
-	case len(c.Cores) == 0:
-		return fmt.Errorf("engine: need at least one core")
+	case len(c.Cores) == 0 && len(c.Open) == 0:
+		return fmt.Errorf("engine: need at least one core or open-loop source")
 	case c.Ctrl == nil:
 		return fmt.Errorf("engine: need a memory controller")
 	case c.Policy == nil:
@@ -139,6 +179,14 @@ func (c *Config) validate() error {
 		}
 		if cs.Requests < 1 {
 			return fmt.Errorf("engine: core %d needs at least one request", i)
+		}
+	}
+	for j, os := range c.Open {
+		if os.Gen == nil {
+			return fmt.Errorf("engine: open slot %d missing generator", j)
+		}
+		if os.Requests < 1 {
+			return fmt.Errorf("engine: open slot %d needs at least one request", j)
 		}
 	}
 	return nil
@@ -253,12 +301,33 @@ func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	n := len(cfg.Cores)
+	nc := len(cfg.Cores)
+	no := len(cfg.Open)
+	n := nc + no
 	sched := cfg.newScheduler(n)
 	left := make([]int, n)
-	for i := range left {
+	for i := range cfg.Cores {
 		left[i] = cfg.Cores[i].Requests
 	}
+	for j := range cfg.Open {
+		left[nc+j] = cfg.Open[j].Requests
+	}
+	// Open-slot pending state: each slot holds its next request and
+	// arrival time. Slots start scheduled at clock 0 like cores and are
+	// lazily bumped to their true arrival on first pick — the tournament
+	// scheduler only permits updating the current winner, so the keys
+	// cannot be pre-seeded before the loop.
+	var pendReq []trace.Request
+	var pendAt, schedAt []int64
+	if no > 0 {
+		pendReq = make([]trace.Request, no)
+		pendAt = make([]int64, no)
+		schedAt = make([]int64, no)
+		for j := range cfg.Open {
+			pendReq[j], pendAt[j] = cfg.Open[j].Gen.Next()
+		}
+	}
+	var openEnd int64
 	perBank := make([]int64, cfg.Geometry.TotalBanks())
 	crossBank, hasCrossBank := cfg.Scheme.(mitigation.CrossBank)
 	smp := newSampler(&cfg)
@@ -266,11 +335,116 @@ func Run(cfg Config) (Result, error) {
 
 	remaining := n
 	for remaining > 0 {
-		// Advance the core with the smallest local clock (keeps bank and
-		// channel contention causally ordered across cores). Selection
-		// times are non-decreasing, so they double as the global clock the
-		// epoch sampler slices.
+		// Advance the slot with the smallest local clock (keeps bank and
+		// channel contention causally ordered across cores and arrival
+		// streams). Selection times are non-decreasing, so they double as
+		// the global clock the epoch sampler slices.
 		ci := sched.pick()
+		if ci >= nc {
+			// Open-loop slot.
+			j := ci - nc
+			if schedAt[j] < pendAt[j] {
+				// The slot is scheduled at a stale (earlier) clock; bump it
+				// to the pending arrival and re-pick. Legal: ci is the
+				// current winner.
+				schedAt[j] = pendAt[j]
+				sched.update(ci, pendAt[j])
+				continue
+			}
+			var boundClock int64
+			var boundIdx int32
+			if cfg.Batch {
+				boundClock, boundIdx = sched.bound(ci)
+			}
+		drainOpen:
+			at := pendAt[j]
+			if smp != nil {
+				for at >= smp.nextCPU {
+					smp.flush(smp.nextCPU)
+					smp.nextCPU += cfg.EpochCPU
+				}
+			}
+			req := pendReq[j]
+			issueCPU := at
+			for cfg.IntervalCPU > 0 && issueCPU >= nextInterval {
+				cfg.Scheme.OnIntervalBoundary()
+				if cfg.Oracle != nil {
+					cfg.Oracle.RefreshAll()
+				}
+				nextInterval += cfg.IntervalCPU
+			}
+
+			coord := cfg.Policy.Decode(req.Addr)
+			flat := cfg.Geometry.Flat(coord.Bank)
+			perBank[flat]++
+			issueBus := issueCPU / int64(cfg.CPUPerBus)
+
+			trackRow := coord.Row
+			physRow := coord.Row
+			if cfg.Scrambler != nil {
+				physRow = cfg.Scrambler.ToPhysical(coord.Row)
+				if !cfg.IgnoreScrambler {
+					trackRow = physRow
+				}
+			}
+			ranges := cfg.Scheme.OnActivate(flat, trackRow)
+			if cfg.Oracle != nil {
+				cfg.Oracle.Activate(flat, physRow)
+			}
+			if cfg.Attr != nil {
+				cfg.Attr.OnActivate(flat, trackRow)
+			}
+			if issueCPU > openEnd {
+				openEnd = issueCPU
+			}
+			if req.Write {
+				cfg.Ctrl.Write(issueBus, coord)
+			} else {
+				doneBus := cfg.Ctrl.Read(issueBus, coord)
+				if d := doneBus * int64(cfg.CPUPerBus); d > openEnd {
+					openEnd = d
+				}
+			}
+			for _, rr := range ranges {
+				cfg.Ctrl.VictimRefresh(issueBus, flat, rr.Rows())
+				if cfg.Oracle != nil {
+					cfg.Oracle.Refresh(flat, rr)
+				}
+				if cfg.Attr != nil {
+					cfg.Attr.OnRefresh(flat, rr.Lo, rr.Hi)
+				}
+			}
+			if hasCrossBank {
+				for _, bf := range crossBank.PendingCrossBank() {
+					cfg.Ctrl.VictimRefresh(issueBus, bf.Bank, bf.Range.Rows())
+					if cfg.Oracle != nil {
+						cfg.Oracle.Refresh(bf.Bank, bf.Range)
+					}
+					if cfg.Attr != nil {
+						cfg.Attr.OnRefresh(bf.Bank, bf.Range.Lo, bf.Range.Hi)
+					}
+				}
+			}
+			left[ci]--
+			if left[ci] == 0 {
+				sched.remove(ci)
+				remaining--
+				continue
+			}
+			pendReq[j], pendAt[j] = cfg.Open[j].Gen.Next()
+			if pendAt[j] < at {
+				// Clamp a non-monotone source so the schedule stays causal.
+				pendAt[j] = at
+			}
+			if cfg.Batch {
+				if na := pendAt[j]; na < boundClock || (na == boundClock && int32(ci) < boundIdx) {
+					goto drainOpen
+				}
+			}
+			schedAt[j] = pendAt[j]
+			sched.update(ci, pendAt[j])
+			continue
+		}
 		cs := &cfg.Cores[ci]
 		// In batch mode, keep draining this core while its key stays
 		// strictly below the best other core's — exactly when pick would
@@ -321,6 +495,9 @@ func Run(cfg Config) (Result, error) {
 		if cfg.Oracle != nil {
 			cfg.Oracle.Activate(flat, physRow)
 		}
+		if cfg.Attr != nil {
+			cfg.Attr.OnActivate(flat, trackRow)
+		}
 		if req.Write {
 			cfg.Ctrl.Write(issueBus, coord)
 			cs.CPU.NoteWrite()
@@ -334,6 +511,9 @@ func Run(cfg Config) (Result, error) {
 			if cfg.Oracle != nil {
 				cfg.Oracle.Refresh(flat, rr)
 			}
+			if cfg.Attr != nil {
+				cfg.Attr.OnRefresh(flat, rr.Lo, rr.Hi)
+			}
 		}
 		if hasCrossBank {
 			// Shared-counter schemes (ABACuS) refresh the same victims in
@@ -342,6 +522,9 @@ func Run(cfg Config) (Result, error) {
 				cfg.Ctrl.VictimRefresh(issueBus, bf.Bank, bf.Range.Rows())
 				if cfg.Oracle != nil {
 					cfg.Oracle.Refresh(bf.Bank, bf.Range)
+				}
+				if cfg.Attr != nil {
+					cfg.Attr.OnRefresh(bf.Bank, bf.Range.Lo, bf.Range.Hi)
 				}
 			}
 		}
@@ -359,7 +542,7 @@ func Run(cfg Config) (Result, error) {
 		sched.update(ci, cs.CPU.Now)
 	}
 
-	var endCPU int64
+	endCPU := openEnd
 	for i := range cfg.Cores {
 		if d := cfg.Cores[i].CPU.Drain(); d > endCPU {
 			endCPU = d

@@ -24,6 +24,7 @@ import (
 	"catsim/internal/runner"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
+	"catsim/internal/workload"
 )
 
 // CPUCyclesPerInterval is one 64 ms auto-refresh interval at 3.2 GHz.
@@ -37,7 +38,14 @@ type Options struct {
 	// Seed drives every stochastic component.
 	Seed uint64
 	// Workloads restricts the workload set (nil = the paper's 18).
+	// Open-loop preset names ("ol-poisson", ...) are accepted too; fill
+	// moves them into OpenWorkloads so the closed-loop figures never see
+	// them.
 	Workloads []string
+	// OpenWorkloads restricts the open-loop workload set consumed by figw
+	// (nil = the non-attack presets). fill populates it from any open-loop
+	// names found in Workloads; it can also be set directly.
+	OpenWorkloads []string
 	// Intervals is the number of auto-refresh intervals each run spans
 	// (0 = 1). DRCAT's advantage over PRCAT — keeping the learned tree
 	// across interval boundaries instead of relearning — only shows with
@@ -88,12 +96,32 @@ func (o *Options) fill() error {
 		o.Workloads = trace.WorkloadNames()
 	} else {
 		// Fail loudly on typos: a silently empty or partial subset would
-		// quietly skew every mean in the suite.
+		// quietly skew every mean in the suite. Open-loop preset names are
+		// routed to OpenWorkloads; the closed-loop figures keep seeing
+		// trace workloads only (falling back to the full set when the
+		// selection was purely open-loop).
+		var closed []string
 		for _, name := range o.Workloads {
-			if _, err := trace.Lookup(name); err != nil {
-				return fmt.Errorf("experiments: unknown workload %q (valid: %s)",
-					name, strings.Join(trace.WorkloadNames(), ", "))
+			if _, err := trace.Lookup(name); err == nil {
+				closed = append(closed, name)
+				continue
 			}
+			if _, err := workload.Lookup(name); err == nil {
+				o.OpenWorkloads = append(o.OpenWorkloads, name)
+				continue
+			}
+			return fmt.Errorf("experiments: unknown workload %q (valid: %s; open-loop: %s)",
+				name, strings.Join(trace.WorkloadNames(), ", "),
+				strings.Join(workload.Names(), ", "))
+		}
+		if closed == nil {
+			closed = trace.WorkloadNames()
+		}
+		o.Workloads = closed
+	}
+	for _, name := range o.OpenWorkloads {
+		if _, err := workload.Lookup(name); err != nil {
+			return err
 		}
 	}
 	if o.Intervals == 0 {

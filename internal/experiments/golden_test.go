@@ -49,6 +49,7 @@ func goldenGenerators() []struct {
 		{"fig13", func(w io.Writer) error { _, err := Fig13(w, o()); return err }},
 		{"figx", func(w io.Writer) error { _, err := FigX(w, o()); return err }},
 		{"figt", func(w io.Writer) error { _, err := FigT(w, o()); return err }},
+		{"figw", func(w io.Writer) error { _, err := FigW(w, o()); return err }},
 		{"ablations", func(w io.Writer) error {
 			if _, err := AblationLadders(w, o()); err != nil {
 				return err

@@ -126,6 +126,27 @@ func TestAblationsIdenticalAcrossParallelism(t *testing.T) {
 	}
 }
 
+func TestFigWOutputIdenticalAcrossParallelism(t *testing.T) {
+	var rendered []string
+	var points [][]FigWPoint
+	for _, p := range []int{1, 8} {
+		var buf bytes.Buffer
+		pts, err := FigW(&buf, para(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered = append(rendered, buf.String())
+		points = append(points, pts)
+	}
+	if rendered[0] != rendered[1] {
+		t.Errorf("FigW output differs between parallelism 1 and 8:\n--- p=1\n%s\n--- p=8\n%s",
+			rendered[0], rendered[1])
+	}
+	if !reflect.DeepEqual(points[0], points[1]) {
+		t.Error("FigW points differ between parallelism 1 and 8")
+	}
+}
+
 func TestCachedRunsMatchUncached(t *testing.T) {
 	run := func(noCache bool) *Fig8Data {
 		o := para(8)

@@ -33,7 +33,7 @@ var registry = map[string]Experiment{}
 // asserts it matches the registered set exactly, in both directions.
 var canonicalOrder = []string{
 	"table1", "table2", "fig1", "lfsr", "fig2", "fig3", "fig8", "fig9",
-	"fig10", "fig11", "fig12", "fig13", "figx", "figt", "ablations",
+	"fig10", "fig11", "fig12", "fig13", "figx", "figt", "figw", "ablations",
 	"headlines",
 }
 

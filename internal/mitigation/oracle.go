@@ -119,6 +119,20 @@ func (o *Oracle) MissedVictimRate() float64 {
 	return float64(o.missedN) / float64(o.exposedN)
 }
 
+// VisitExposed calls fn for every distinct (bank, row) victim that saw any
+// aggressor exposure over the run, with missed reporting whether its
+// exposure ever crossed the threshold unrefreshed. Per-tenant attribution
+// folds the oracle's verdict over row ownership with this.
+func (o *Oracle) VisitExposed(fn func(bank, row int, missed bool)) {
+	for b := range o.exposed {
+		for r, ex := range o.exposed[b] {
+			if ex {
+				fn(b, r, o.missed[b][r])
+			}
+		}
+	}
+}
+
 // Drive runs a scheme against the oracle for a prepared stream of (bank,
 // row) activations, wiring refreshes (including cross-bank ones) back into
 // the oracle. It returns the violation count (zero for sound deterministic

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"catsim/internal/sim"
+	"catsim/internal/workload"
 )
 
 // Cache memoizes sim.Run results by the canonical config key
@@ -57,6 +58,7 @@ func (c *Cache) Run(cfg sim.Config) (sim.Result, error) {
 	// mutable fields so consumers can't corrupt each other.
 	res.PerBankActs = append([]int64(nil), e.res.PerBankActs...)
 	res.Epochs = append([]sim.EpochSample(nil), e.res.Epochs...)
+	res.Tenants = append([]workload.TenantStat(nil), e.res.Tenants...)
 	return res, nil
 }
 

@@ -45,5 +45,14 @@ func CacheKey(cfg Config) string {
 	if cfg.Scrambler != nil {
 		fmt.Fprintf(&b, "|scrambler=%s|ignore=%t", cfg.Scrambler.Name(), cfg.IgnoreScrambler)
 	}
+	// Open-loop workloads hash their canonical string (request budget
+	// resolved, so an explicit budget and the RequestsPerCore default hash
+	// alike); replayed captures hash the container's content digest.
+	if cfg.OpenLoop != nil {
+		fmt.Fprintf(&b, "|open=%s", cfg.openConfig())
+	}
+	if cfg.Replay != nil {
+		fmt.Fprintf(&b, "|replay=%016x", cfg.Replay.Digest())
+	}
 	return b.String()
 }

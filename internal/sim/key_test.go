@@ -6,8 +6,10 @@ import (
 	"testing"
 
 	"catsim/internal/cpu"
+	"catsim/internal/dram"
 	"catsim/internal/mitigation"
 	"catsim/internal/trace"
+	"catsim/internal/workload"
 )
 
 func keyConfig(t *testing.T) Config {
@@ -57,6 +59,21 @@ func TestCacheKeySeparatesRuns(t *testing.T) {
 			wl, _ := trace.Lookup("comm1")
 			c.Workload = wl
 		},
+		func(c *Config) {
+			ol, _ := workload.Lookup("ol-poisson")
+			c.OpenLoop = &ol
+		},
+		func(c *Config) {
+			ol, _ := workload.Lookup("ol-poisson")
+			ol.Requests = 777
+			c.OpenLoop = &ol
+		},
+		func(c *Config) {
+			ol, _ := workload.Lookup("ol-bursty")
+			c.OpenLoop = &ol
+		},
+		func(c *Config) { c.Replay = keyContainer(1) },
+		func(c *Config) { c.Replay = keyContainer(2) },
 	}
 	seen := map[string]int{CacheKey(base): -1}
 	for i, m := range mutate {
@@ -81,11 +98,44 @@ func TestCacheKeyLabelsScheme(t *testing.T) {
 	}
 }
 
+// keyContainer builds a tiny replay container whose content varies with
+// addr, so distinct captures produce distinct digests.
+func keyContainer(addr int64) *trace.Container {
+	return &trace.Container{
+		Geometry: dram.Default2Channel(),
+		Streams: []trace.Stream{
+			{Name: "core0", Reqs: []trace.Request{{Addr: addr, Gap: 1}}},
+		},
+	}
+}
+
 // TestCacheKeyCoversConfig pins the Config field set. If this fails you
 // added a Config field: teach CacheKey about it (or deliberately exclude
 // it) and update the count here.
 func TestCacheKeyCoversConfig(t *testing.T) {
-	if n := reflect.TypeOf(Config{}).NumField(); n != 20 {
-		t.Errorf("Config has %d fields, CacheKey was written against 20", n)
+	if n := reflect.TypeOf(Config{}).NumField(); n != 22 {
+		t.Errorf("Config has %d fields, CacheKey was written against 22", n)
+	}
+}
+
+// TestCacheKeyHasNoPointerIdentity: the open-loop and replay segments must
+// hash content, never pointer addresses — two identical configs built
+// separately must share a key.
+func TestCacheKeyHasNoPointerIdentity(t *testing.T) {
+	mk := func() Config {
+		c := keyConfig(t)
+		ol, err := workload.Lookup("ol-mixed-attack")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.OpenLoop = &ol
+		return c
+	}
+	a, b := CacheKey(mk()), CacheKey(mk())
+	if a != b {
+		t.Errorf("identical configs hash differently:\n%s\n%s", a, b)
+	}
+	if strings.Contains(a, "0x") {
+		t.Errorf("key %q leaks a pointer", a)
 	}
 }

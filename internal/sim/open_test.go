@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"catsim/internal/mitigation"
+	"catsim/internal/trace"
+	"catsim/internal/workload"
+)
+
+// openConfigFor builds a mixed closed+open run: two cores of a synthetic
+// workload plus a bursty multi-tenant cohort with an embedded attacker.
+func openConfigFor(t *testing.T, cores int) Config {
+	t.Helper()
+	wl, err := trace.Lookup("black")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol, err := workload.Lookup("ol-mixed-attack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol.Requests = 6000
+	// A hotter attacker and a low threshold so this small run produces
+	// victim-refresh traffic to attribute.
+	ol.Cohort.Attacker.Fraction = 0.3
+	cfg := Config{
+		Cores: cores, RequestsPerCore: 3000, Workload: wl,
+		OpenLoop:  &ol,
+		Scheme:    SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+		Threshold: 16, Seed: 11,
+	}
+	if cores == 0 {
+		cfg.RequestsPerCore = 0
+	}
+	return cfg
+}
+
+func TestOpenLoopRunAttributesTenants(t *testing.T) {
+	for _, cores := range []int{0, 2} {
+		cfg := openConfigFor(t, cores)
+		cfg.CheckProtection = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		wantParties := cfg.OpenLoop.Cohort.Tenants + 1 // attacker rides along
+		if len(res.Tenants) != wantParties {
+			t.Fatalf("cores=%d: %d tenant stats, want %d", cores, len(res.Tenants), wantParties)
+		}
+		last := res.Tenants[len(res.Tenants)-1]
+		if !last.Attacker {
+			t.Error("last tenant stat should be the attacker")
+		}
+		var acts, refreshed int64
+		for _, ts := range res.Tenants {
+			acts += ts.Acts
+			refreshed += ts.RowsRefreshed
+		}
+		if acts == 0 {
+			t.Errorf("cores=%d: no activations attributed", cores)
+		}
+		if refreshed == 0 {
+			t.Errorf("cores=%d: no refresh rows attributed at threshold %d", cores, cfg.Threshold)
+		}
+	}
+}
+
+// TestCaptureReplayByteIdentical is the pipeline's core guarantee: a
+// captured run, replayed from the container — including a round trip
+// through the on-disk v1 encoding — reproduces the live Result exactly,
+// per-tenant attribution included.
+func TestCaptureReplayByteIdentical(t *testing.T) {
+	for _, cores := range []int{0, 2} {
+		cfg := openConfigFor(t, cores)
+		cfg.CheckProtection = true
+		live, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cont, err := Capture(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteContainer(&buf, cont); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := trace.ReadContainer(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcfg := Config{
+			Replay:          parsed,
+			OpenLoop:        cfg.OpenLoop,
+			Scheme:          cfg.Scheme,
+			Threshold:       cfg.Threshold,
+			Seed:            cfg.Seed,
+			CheckProtection: cfg.CheckProtection,
+		}
+		replayed, err := Run(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live, replayed) {
+			t.Errorf("cores=%d: replay diverges from the live run\nlive:   %+v\nreplay: %+v",
+				cores, live, replayed)
+		}
+	}
+}
+
+// TestCaptureReplayAnyScheme: one capture serves every scheme spec — the
+// streams do not depend on the scheme, so replaying the same container
+// under a different scheme matches that scheme's live run.
+func TestCaptureReplayAnyScheme(t *testing.T) {
+	cfg := openConfigFor(t, 1)
+	cont, err := Capture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []SchemeSpec{
+		{Kind: mitigation.KindNone},
+		{Kind: mitigation.KindSCA, Counters: 16},
+		{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+	} {
+		lcfg := cfg
+		lcfg.Scheme = scheme
+		live, err := Run(lcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := Run(Config{
+			Replay: cont, OpenLoop: cfg.OpenLoop,
+			Scheme: scheme, Threshold: cfg.Threshold, Seed: cfg.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live, replayed) {
+			t.Errorf("%s: replay diverges from the live run", live.SchemeLabel)
+		}
+	}
+}
+
+// TestCaptureStreamShape: the container carries one closed stream per core
+// (named, gap-timed) and one open stream per source (arrival-timed,
+// non-decreasing), with the configured budgets.
+func TestCaptureStreamShape(t *testing.T) {
+	cfg := openConfigFor(t, 2)
+	cont, err := Capture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cont.Streams) != 4 {
+		t.Fatalf("%d streams, want 2 closed + 2 open", len(cont.Streams))
+	}
+	total := 0
+	for i, s := range cont.Streams {
+		if s.Open != (i >= 2) {
+			t.Errorf("stream %d (%s): open=%t out of order", i, s.Name, s.Open)
+		}
+		if s.Open {
+			total += len(s.Reqs)
+		} else if len(s.Reqs) != cfg.RequestsPerCore {
+			t.Errorf("closed stream %d holds %d requests, want %d", i, len(s.Reqs), cfg.RequestsPerCore)
+		}
+	}
+	if total != cfg.OpenLoop.Requests {
+		t.Errorf("open streams hold %d requests, want %d", total, cfg.OpenLoop.Requests)
+	}
+	if cont.Geometry != cfg.Geometry {
+		// cfg.Geometry is zero here; Capture fills the default.
+		if cont.Geometry.Channels == 0 {
+			t.Error("capture did not record the geometry")
+		}
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	cfg := openConfigFor(t, 1)
+	cont, err := Capture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{Replay: cont, Cores: 1, RequestsPerCore: 100,
+		Scheme: SchemeSpec{Kind: mitigation.KindNone}, Threshold: 128}
+	if _, err := Run(bad); err == nil {
+		t.Error("replay with closed-loop cores configured should fail")
+	}
+	mismatched := Config{Replay: cont, Threshold: 128,
+		Scheme: SchemeSpec{Kind: mitigation.KindNone}}
+	mismatched.Geometry = cont.Geometry
+	mismatched.Geometry.Channels *= 2
+	if _, err := Run(mismatched); err == nil {
+		t.Error("replay with a mismatched geometry should fail")
+	}
+	if _, err := Capture(Config{Replay: cont, Threshold: 128}); err == nil {
+		t.Error("capturing a replay config should fail")
+	}
+}

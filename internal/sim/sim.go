@@ -12,8 +12,6 @@ package sim
 import (
 	"fmt"
 
-	"catsim/internal/addrmap"
-
 	"catsim/internal/cpu"
 	"catsim/internal/dram"
 	"catsim/internal/energy"
@@ -22,6 +20,7 @@ import (
 	"catsim/internal/mitigation"
 
 	"catsim/internal/trace"
+	"catsim/internal/workload"
 )
 
 // SchemeSpec is a buildable description of a mitigation scheme, the unit
@@ -182,6 +181,23 @@ type Config struct {
 	// to onset.
 	AttackOnsetFrac float64
 
+	// OpenLoop, when non-nil, attaches an open-loop workload: arrival
+	// processes over a multi-tenant cohort that hit the controller at
+	// absolute times instead of being paced by core windows. It runs
+	// alongside any closed-loop cores (Cores may be 0 for a pure open-loop
+	// run). A zero OpenLoop.Requests budget defaults to
+	// RequestsPerCore×Sources. Per-tenant attribution lands in
+	// Result.Tenants.
+	OpenLoop *workload.Config
+	// Replay, when non-nil, replays a captured trace container (see
+	// Capture) instead of building generators: its closed streams become
+	// the cores and its open streams the arrival slots, byte-identically.
+	// Cores, RequestsPerCore, workload and attack config must be zero, and
+	// Geometry must match the capture (zero Geometry adopts it). OpenLoop
+	// may still be set alongside: its cohort spec is rebuilt for per-tenant
+	// attribution only — no randomness is drawn from it.
+	Replay *trace.Container
+
 	Scheme    SchemeSpec
 	Threshold uint32 // refresh threshold T
 
@@ -255,6 +271,11 @@ type Result struct {
 	// (nil otherwise): activity deltas, tracking-structure occupancy and
 	// cumulative oracle exposure per fixed-duration epoch.
 	Epochs []EpochSample
+	// Tenants holds the per-tenant attribution when Config.OpenLoop is set
+	// (nil otherwise): each tenant's owned-row activations, victim-refresh
+	// rows, and — on protection runs — its share of exposed/missed victim
+	// rows. The attacker, when configured, is the last entry.
+	Tenants []workload.TenantStat
 }
 
 // EpochSample is one epoch's worth of time-series metrics, recorded by
@@ -278,16 +299,46 @@ func (c *Config) fill() {
 		c.Timing = dram.DDR3_1600()
 	}
 	if c.Geometry.Channels == 0 {
-		c.Geometry = dram.Default2Channel()
+		if c.Replay != nil {
+			c.Geometry = c.Replay.Geometry
+		} else {
+			c.Geometry = dram.Default2Channel()
+		}
 	}
 }
 
 func (c *Config) validate() error {
-	if c.Cores < 1 {
-		return fmt.Errorf("sim: need at least one core")
+	if c.Replay != nil {
+		if c.Cores != 0 || c.RequestsPerCore != 0 {
+			return fmt.Errorf("sim: replay supplies the request streams; Cores and RequestsPerCore must be zero")
+		}
+		if c.WorkloadPerCore != nil || c.Attack != nil {
+			return fmt.Errorf("sim: replay supplies the request streams; per-core workloads and attack config must be empty")
+		}
+		if c.Geometry != c.Replay.Geometry {
+			return fmt.Errorf("sim: config geometry %v does not match the captured geometry %v",
+				c.Geometry, c.Replay.Geometry)
+		}
+	} else {
+		if c.Cores < 1 && c.OpenLoop == nil {
+			return fmt.Errorf("sim: need at least one core or an open-loop workload")
+		}
+		if c.Cores >= 1 && c.RequestsPerCore < 1 {
+			return fmt.Errorf("sim: need at least one request per core")
+		}
+		if c.Attack != nil && c.Cores < 1 {
+			return fmt.Errorf("sim: attack config requires closed-loop cores (embed an attacker tenant in the open-loop cohort instead)")
+		}
 	}
-	if c.RequestsPerCore < 1 {
-		return fmt.Errorf("sim: need at least one request per core")
+	if c.OpenLoop != nil {
+		ol := c.openConfig()
+		if err := ol.Validate(); err != nil {
+			return err
+		}
+		if ol.Requests < ol.Sources {
+			return fmt.Errorf("sim: open-loop budget of %d requests cannot feed %d sources",
+				ol.Requests, ol.Sources)
+		}
 	}
 	if c.Threshold < 1 {
 		return fmt.Errorf("sim: refresh threshold must be positive")
@@ -300,6 +351,10 @@ func (c *Config) validate() error {
 	}
 	if c.AttackOnsetFrac > 0 && c.Attack == nil {
 		return fmt.Errorf("sim: attack onset fraction without an attack")
+	}
+	if c.WorkloadPerCore != nil && len(c.WorkloadPerCore) != c.Cores {
+		return fmt.Errorf("sim: %d per-core workloads for %d cores",
+			len(c.WorkloadPerCore), c.Cores)
 	}
 	return c.Geometry.Validate()
 }
@@ -317,13 +372,7 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	var policy addrmap.Policy
-	var err error
-	if cfg.ChannelInterleaved {
-		policy, err = addrmap.NewChannelInterleaved(cfg.Geometry)
-	} else {
-		policy, err = addrmap.NewRowInterleaved(cfg.Geometry)
-	}
+	policy, err := cfg.buildPolicy()
 	if err != nil {
 		return Result{}, err
 	}
@@ -352,50 +401,14 @@ func Run(cfg Config) (Result, error) {
 		oracle = mitigation.NewOracle(banks, cfg.Geometry.RowsPerBank, cfg.Threshold)
 	}
 
-	if cfg.WorkloadPerCore != nil && len(cfg.WorkloadPerCore) != cfg.Cores {
-		return Result{}, fmt.Errorf("sim: %d per-core workloads for %d cores",
-			len(cfg.WorkloadPerCore), cfg.Cores)
-	}
-	slots := make([]engine.CoreSlot, cfg.Cores)
-	for i := range slots {
-		c, err := cpu.NewCore(cfg.Window)
-		if err != nil {
-			return Result{}, err
-		}
-		spec := cfg.Workload
-		if cfg.WorkloadPerCore != nil {
-			spec = cfg.WorkloadPerCore[i]
-		}
-		var gen trace.Generator
-		syn, err := trace.NewSynthetic(spec, cfg.Geometry.TotalBytes(),
-			cfg.Geometry.LineBytes, cfg.Seed+uint64(i)*0x1000193)
-		if err != nil {
-			return Result{}, err
-		}
-		gen = syn
-		if cfg.Attack != nil {
-			gen, err = trace.NewAttackPattern(cfg.Attack.Kernel, cfg.Attack.Mode,
-				cfg.Attack.Pattern, cfg.Geometry, policy, syn)
-			if err != nil {
-				return Result{}, err
-			}
-			if cfg.AttackOnsetFrac > 0 {
-				// The benign prefix draws from the plain synthetic stream;
-				// the blend (which wraps the same stream) takes over at the
-				// onset point.
-				onset := int64(cfg.AttackOnsetFrac * float64(cfg.RequestsPerCore))
-				gen, err = trace.NewPhased(onset, syn, gen)
-				if err != nil {
-					return Result{}, err
-				}
-			}
-		}
-		slots[i] = engine.CoreSlot{CPU: c, Gen: gen, Requests: cfg.RequestsPerCore}
-	}
-
 	cpuNS := 1000.0 / (float64(cfg.Timing.BusMHz) * float64(cfg.CPUPerBus)) // ns per CPU cycle
-	er, err := engine.Run(engine.Config{
+	slots, open, cohort, err := cfg.buildStreams(policy, cpuNS)
+	if err != nil {
+		return Result{}, err
+	}
+	ecfg := engine.Config{
 		Cores:           slots,
+		Open:            open,
 		Ctrl:            ctrl,
 		Policy:          policy,
 		Geometry:        cfg.Geometry,
@@ -409,7 +422,11 @@ func Run(cfg Config) (Result, error) {
 		CPUCycleNS:      cpuNS,
 		BusCycleNS:      1000.0 / float64(cfg.Timing.BusMHz),
 		Batch:           true,
-	})
+	}
+	if cohort != nil {
+		ecfg.Attr = cohort
+	}
+	er, err := engine.Run(ecfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -443,6 +460,13 @@ func Run(cfg Config) (Result, error) {
 		res.MissedVictimRows = oracle.MissedVictimRows()
 		res.ExposedVictimRows = oracle.ExposedVictimRows()
 		res.MissedVictimRate = oracle.MissedVictimRate()
+	}
+	if cohort != nil {
+		if oracle != nil {
+			res.Tenants = cohort.Stats(oracle)
+		} else {
+			res.Tenants = cohort.Stats(nil)
+		}
 	}
 	return res, nil
 }

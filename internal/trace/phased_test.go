@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// constGen always returns the same request — enough to tell the phases
+// apart.
+type constGen struct {
+	name string
+	addr int64
+}
+
+func (g constGen) Name() string  { return g.name }
+func (g constGen) Next() Request { return Request{Addr: g.addr, Gap: 1} }
+
+func TestPhasedEdgeCases(t *testing.T) {
+	early := constGen{name: "early", addr: 1}
+	late := constGen{name: "late", addr: 2}
+
+	t.Run("zero-length early phase", func(t *testing.T) {
+		// switchAfter 0 (onset at 0.0): the early generator is never
+		// drawn — every request comes from the late phase.
+		p, err := NewPhased(0, early, late)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if got := p.Next().Addr; got != 2 {
+				t.Fatalf("request %d drew from the early phase", i)
+			}
+		}
+	})
+
+	t.Run("switch exactly at the boundary", func(t *testing.T) {
+		p, err := NewPhased(3, early, late)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if got := p.Next().Addr; got != 1 {
+				t.Fatalf("request %d should be early, got addr %d", i, got)
+			}
+		}
+		if got := p.Next().Addr; got != 2 {
+			t.Fatalf("request 3 should be the first late request, got addr %d", got)
+		}
+	})
+
+	t.Run("switch past the stream end", func(t *testing.T) {
+		// Onset at 1.0 of an N-request run means a switch point the run
+		// never reaches: all requests stay early. (sim rejects onset 1.0
+		// up front; this locks the generator-level behaviour for callers
+		// that size the phases themselves.)
+		p, err := NewPhased(100, early, late)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if got := p.Next().Addr; got != 1 {
+				t.Fatalf("request %d drew from the late phase before the switch", i)
+			}
+		}
+		if got := p.Next().Addr; got != 2 {
+			t.Fatal("request 100 should switch to the late phase")
+		}
+	})
+
+	t.Run("validation", func(t *testing.T) {
+		if _, err := NewPhased(-1, early, late); err == nil {
+			t.Error("negative switch point accepted")
+		}
+		if _, err := NewPhased(1, nil, late); err == nil {
+			t.Error("nil early generator accepted")
+		}
+		if _, err := NewPhased(1, early, nil); err == nil {
+			t.Error("nil late generator accepted")
+		}
+	})
+
+	t.Run("name encodes the phases", func(t *testing.T) {
+		p, err := NewPhased(5, early, late)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name := p.Name(); !strings.Contains(name, "early") ||
+			!strings.Contains(name, "late") || !strings.Contains(name, "5") {
+			t.Errorf("name %q should encode both phases and the switch point", name)
+		}
+	})
+}

@@ -1,0 +1,412 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"catsim/internal/addrmap"
+	"catsim/internal/dram"
+	"catsim/internal/rng"
+	"catsim/internal/trace"
+)
+
+// Seed-stream separators: every RNG stream a cohort owns derives from the
+// run seed xor a distinct constant, so tenants, the tenant selector and
+// the arrival processes never share state (and adding one never perturbs
+// another — the partitioning SNIPPETS-style multi-instance subsystems use).
+const (
+	tenantSeedMix  = 0x7E4A47BA5E0D1C93
+	pickSeedMix    = 0x5ECB0A57C0FF8E11
+	arrivalSeedMix = 0xA881A77C3D5B9F21
+)
+
+// AttackerSpec embeds one attacker tenant in a cohort: a fraction of all
+// arrivals is issued by it, and those requests run the trace package's
+// kernel-attack generator (hammer rows blended with cover traffic drawn
+// from the attacker's own footprint, per the attack mode).
+type AttackerSpec struct {
+	// Fraction of all arrivals issued by the attacker, in [0, 1).
+	Fraction float64
+	// Kernel, Mode and Pattern configure trace.NewAttackPattern. The zero
+	// Mode is Heavy, the zero Pattern the paper's Gaussian kernels.
+	Kernel  int
+	Mode    trace.AttackMode
+	Pattern trace.Pattern
+}
+
+// CohortSpec describes a multi-tenant population sharing the DRAM.
+type CohortSpec struct {
+	// Tenants is the number of benign tenants (the attacker, when present,
+	// is one more on top).
+	Tenants int
+	// ZipfS is the Zipf exponent skewing both footprint sizes and tenant
+	// popularity (0 selects 1.1).
+	ZipfS float64
+	// FootprintFrac is the fraction of each bank's rows the cohort
+	// occupies, centered in the row space (0 selects 0.5).
+	FootprintFrac float64
+	// WriteFrac is the write fraction of benign requests (0 selects 0.3).
+	WriteFrac float64
+	// RowSkew is the intra-tenant row-reuse exponent: each tenant draws
+	// row u^RowSkew into its span, so larger values concentrate traffic on
+	// the span's first rows (0 selects 3).
+	RowSkew float64
+	// Attacker, when non-nil, adds an attacker tenant.
+	Attacker *AttackerSpec
+}
+
+func (s *CohortSpec) fill() {
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.1
+	}
+	if s.FootprintFrac == 0 {
+		s.FootprintFrac = 0.5
+	}
+	if s.WriteFrac == 0 {
+		s.WriteFrac = 0.3
+	}
+	if s.RowSkew == 0 {
+		s.RowSkew = 3
+	}
+}
+
+func (s CohortSpec) validate() error {
+	if s.Tenants < 1 {
+		return fmt.Errorf("workload: cohort needs at least one tenant, got %d", s.Tenants)
+	}
+	if s.ZipfS < 0 {
+		return fmt.Errorf("workload: negative Zipf exponent %g", s.ZipfS)
+	}
+	if s.FootprintFrac <= 0 || s.FootprintFrac > 1 {
+		return fmt.Errorf("workload: footprint fraction %g out of (0, 1]", s.FootprintFrac)
+	}
+	if s.WriteFrac < 0 || s.WriteFrac >= 1 {
+		return fmt.Errorf("workload: write fraction %g out of [0, 1)", s.WriteFrac)
+	}
+	if s.RowSkew < 1 {
+		return fmt.Errorf("workload: row skew %g must be at least 1", s.RowSkew)
+	}
+	if a := s.Attacker; a != nil {
+		if a.Fraction <= 0 || a.Fraction >= 1 {
+			return fmt.Errorf("workload: attacker fraction %g out of (0, 1)", a.Fraction)
+		}
+	}
+	return nil
+}
+
+// String is the canonical cache-key form; it spells the attacker out by
+// value so no pointer identity leaks into sim.CacheKey.
+func (s CohortSpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tenants=%d,zipf=%g,foot=%g,write=%g,rowskew=%g",
+		s.Tenants, s.ZipfS, s.FootprintFrac, s.WriteFrac, s.RowSkew)
+	if s.Attacker != nil {
+		fmt.Fprintf(&b, ",attacker=%g/k%d/%s/%s",
+			s.Attacker.Fraction, s.Attacker.Kernel, s.Attacker.Mode, s.Attacker.Pattern)
+	}
+	return b.String()
+}
+
+// TenantStat is one tenant's share of a run, attributed by row ownership:
+// each tenant owns a contiguous span of row indices (the same span in
+// every bank, since both mapping policies place row bits most
+// significant), so any (bank, row) event maps to exactly one owner. The
+// attribution is region-centric on purpose — it depends only on the
+// activation/refresh event stream, so a replayed capture reproduces it
+// byte-identically without re-running the generators.
+type TenantStat struct {
+	// ID is the tenant index; the attacker, when present, is the last ID.
+	ID       int  `json:"id"`
+	Attacker bool `json:"attacker,omitempty"`
+	// Rows is the tenant's footprint in rows per bank.
+	Rows int `json:"rows"`
+	// Acts counts activations that landed in the tenant's rows (for
+	// benign tenants this equals the requests they issued; attacker hammer
+	// rows may land in a victim tenant's span — that is the interference
+	// signal).
+	Acts int64 `json:"acts"`
+	// RowsRefreshed counts victim-refresh rows inside the tenant's span —
+	// whose rows the mitigation scheme had to touch.
+	RowsRefreshed int64 `json:"rows_refreshed"`
+	// ExposedRows and MissedRows are the oracle's per-tenant protection
+	// verdict (protection runs only): distinct owned victim rows with any
+	// crosstalk exposure, and those whose exposure crossed the threshold
+	// unrefreshed.
+	ExposedRows int64 `json:"exposed_rows,omitempty"`
+	MissedRows  int64 `json:"missed_rows,omitempty"`
+}
+
+// Cohort is a built tenant population: the span table, the per-tenant and
+// selector RNG streams, the attacker generator, and the attribution
+// counters the engine's hooks feed. It implements engine.Attributor.
+type Cohort struct {
+	spec   CohortSpec
+	geom   dram.Geometry
+	policy addrmap.Policy
+
+	baseRow int // first cohort row in every bank
+	// spanLo/spanHi bound each party's rows (half-open, absolute row
+	// indices); parties = Tenants, plus the attacker last when configured.
+	spanLo, spanHi []int32
+	// cum[mixIndex] is the cumulative tenant-selection distribution for
+	// each mix profile (base, flat, peak).
+	cum [3][]float64
+	mix int
+
+	pick    *rng.Xoshiro256   // tenant selection, write coin, attacker coin
+	streams []*rng.Xoshiro256 // per-party address streams
+	attack  trace.Generator   // nil without an attacker
+
+	acts      []int64 // per party, owned-row activations
+	refreshed []int64 // per party, owned victim-refresh rows
+	otherActs int64   // activations outside every span (attacker spill)
+	otherRef  int64
+}
+
+// tenantGen adapts one party's address stream to trace.Generator — the
+// cover-traffic source the attacker's blend draws between hammer bursts.
+type tenantGen struct {
+	c *Cohort
+	t int
+}
+
+func (g tenantGen) Name() string { return fmt.Sprintf("tenant-%d", g.t) }
+
+func (g tenantGen) Next() trace.Request {
+	return trace.Request{Addr: g.c.drawAddr(g.t), Gap: 1}
+}
+
+// NewCohort builds the tenant population for a geometry and mapping
+// policy. Construction is deterministic in (spec, seed): span layout is
+// arithmetic, and the RNG streams are seeded but not drawn from, so a
+// replay run rebuilding the cohort for attribution sees the identical
+// ownership table.
+func NewCohort(spec CohortSpec, geom dram.Geometry, policy addrmap.Policy, seed uint64) (*Cohort, error) {
+	spec.fill()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	parties := spec.Tenants
+	if spec.Attacker != nil {
+		parties++
+	}
+	rows := int(spec.FootprintFrac * float64(geom.RowsPerBank))
+	if rows < parties {
+		return nil, fmt.Errorf("workload: footprint of %d rows cannot hold %d tenants", rows, parties)
+	}
+	c := &Cohort{
+		spec:      spec,
+		geom:      geom,
+		policy:    policy,
+		baseRow:   (geom.RowsPerBank - rows) / 2,
+		spanLo:    make([]int32, parties),
+		spanHi:    make([]int32, parties),
+		pick:      rng.NewXoshiro256(seed ^ pickSeedMix),
+		streams:   make([]*rng.Xoshiro256, parties),
+		acts:      make([]int64, parties),
+		refreshed: make([]int64, parties),
+	}
+
+	// Zipf-sized spans: tenant k's footprint is proportional to
+	// (k+1)^-s, floored at one row, laid out contiguously from baseRow.
+	// The attacker takes the last (smallest) rank — it hides among the
+	// long tail. Leftover rows from flooring pad the largest tenant.
+	weights := make([]float64, parties)
+	var sum float64
+	for k := range weights {
+		weights[k] = math.Pow(float64(k+1), -spec.ZipfS)
+		sum += weights[k]
+	}
+	sizes := make([]int, parties)
+	assigned := 0
+	for k := range sizes {
+		sizes[k] = int(float64(rows) * weights[k] / sum)
+		if sizes[k] < 1 {
+			sizes[k] = 1
+		}
+		assigned += sizes[k]
+	}
+	// Flooring under- or over-assigns by at most a few rows per party;
+	// settle the difference against the largest span, which can absorb it.
+	sizes[0] += rows - assigned
+	if sizes[0] < 1 {
+		return nil, fmt.Errorf("workload: footprint of %d rows too small for %d tenants at zipf=%g", rows, parties, spec.ZipfS)
+	}
+	at := c.baseRow
+	for k, sz := range sizes {
+		c.spanLo[k] = int32(at)
+		c.spanHi[k] = int32(at + sz)
+		at += sz
+	}
+
+	// Selection tables per mix profile. The attacker never wins the
+	// benign selection (its traffic volume is AttackerSpec.Fraction, drawn
+	// by a separate coin), so the tables cover benign tenants only.
+	for mi, exp := range []float64{spec.ZipfS, 0, 2 * spec.ZipfS} {
+		cum := make([]float64, spec.Tenants)
+		var total float64
+		for k := range cum {
+			total += math.Pow(float64(k+1), -exp)
+			cum[k] = total
+		}
+		for k := range cum {
+			cum[k] /= total
+		}
+		c.cum[mi] = cum
+	}
+
+	for k := range c.streams {
+		c.streams[k] = rng.NewXoshiro256(seed ^ tenantSeedMix ^ (uint64(k)+1)*0x9E3779B97F4A7C15)
+	}
+
+	if a := spec.Attacker; a != nil {
+		cover := tenantGen{c: c, t: parties - 1}
+		attack, err := trace.NewAttackPattern(a.Kernel, a.Mode, a.Pattern, geom, policy, cover)
+		if err != nil {
+			return nil, err
+		}
+		c.attack = attack
+	}
+	return c, nil
+}
+
+// Parties returns the number of tenants including the attacker.
+func (c *Cohort) Parties() int { return len(c.spanLo) }
+
+// setMix switches the tenant-popularity profile (diurnal phases).
+func (c *Cohort) setMix(mix int) { c.mix = mix }
+
+// drawAddr draws one address from party t's footprint: a row skewed
+// toward the span start, a uniform bank and a uniform line within the
+// row.
+func (c *Cohort) drawAddr(t int) int64 {
+	src := c.streams[t]
+	lo, hi := int(c.spanLo[t]), int(c.spanHi[t])
+	u := rng.Float64(src)
+	var frac float64
+	if c.spec.RowSkew == 3 {
+		frac = u * u * u // the default skew without a Pow in the hot path
+	} else {
+		frac = math.Pow(u, c.spec.RowSkew)
+	}
+	row := lo + int(frac*float64(hi-lo))
+	bank := c.geom.Unflat(rng.Intn(src, c.geom.TotalBanks()))
+	col := rng.Intn(src, c.geom.LinesPerRow()) * c.geom.LineBytes
+	return c.policy.Encode(addrmap.Coord{Bank: bank, Row: row, Col: col})
+}
+
+// Draw issues one request: the attacker coin first, then the mix-weighted
+// tenant pick, then that tenant's address stream. Gap carries 1 (unused
+// by the open-loop path, which times requests by arrival instead).
+func (c *Cohort) Draw() trace.Request {
+	if c.attack != nil && rng.Float64(c.pick) < c.spec.Attacker.Fraction {
+		r := c.attack.Next()
+		r.Gap = 1
+		return r
+	}
+	u := rng.Float64(c.pick)
+	cum := c.cum[c.mix]
+	// Binary search the cumulative table (thousands of tenants).
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return trace.Request{
+		Addr:  c.drawAddr(lo),
+		Write: rng.Float64(c.pick) < c.spec.WriteFrac,
+		Gap:   1,
+	}
+}
+
+// ownerOf returns the party owning a row index, or -1 outside every span.
+func (c *Cohort) ownerOf(row int) int {
+	r := int32(row)
+	if len(c.spanLo) == 0 || r < c.spanLo[0] || r >= c.spanHi[len(c.spanHi)-1] {
+		return -1
+	}
+	lo, hi := 0, len(c.spanLo)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.spanLo[mid] <= r {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if r < c.spanHi[lo] {
+		return lo
+	}
+	return -1
+}
+
+// OnActivate implements engine.Attributor: credit the activation to the
+// row's owner. Allocation-free — it runs on the engine's request path.
+func (c *Cohort) OnActivate(bank, row int) {
+	if t := c.ownerOf(row); t >= 0 {
+		c.acts[t]++
+	} else {
+		c.otherActs++
+	}
+}
+
+// OnRefresh implements engine.Attributor: split an inclusive victim-row
+// range across the owners it overlaps.
+func (c *Cohort) OnRefresh(bank, lo, hi int) {
+	for row := lo; row <= hi; {
+		t := c.ownerOf(row)
+		if t < 0 {
+			// Outside every span: skip to the next span start (or done).
+			c.otherRef++
+			row++
+			continue
+		}
+		end := int(c.spanHi[t]) - 1
+		if hi < end {
+			end = hi
+		}
+		c.refreshed[t] += int64(end - row + 1)
+		row = end + 1
+	}
+}
+
+// exposureVisitor is the subset of the oracle the per-tenant attribution
+// consumes; mitigation.Oracle implements it.
+type exposureVisitor interface {
+	VisitExposed(fn func(bank, row int, missed bool))
+}
+
+// Stats snapshots the attribution counters into per-tenant rows, folding
+// in the oracle's exposure map when a protection oracle ran.
+func (c *Cohort) Stats(oracle exposureVisitor) []TenantStat {
+	out := make([]TenantStat, len(c.spanLo))
+	for t := range out {
+		out[t] = TenantStat{
+			ID:            t,
+			Attacker:      c.attack != nil && t == len(out)-1,
+			Rows:          int(c.spanHi[t] - c.spanLo[t]),
+			Acts:          c.acts[t],
+			RowsRefreshed: c.refreshed[t],
+		}
+	}
+	if oracle != nil {
+		oracle.VisitExposed(func(bank, row int, missed bool) {
+			if t := c.ownerOf(row); t >= 0 {
+				out[t].ExposedRows++
+				if missed {
+					out[t].MissedRows++
+				}
+			}
+		})
+	}
+	return out
+}
+
+// UnownedActs reports activations (and refresh rows) that landed outside
+// every tenant span — attacker hammer targets beyond the cohort region.
+func (c *Cohort) UnownedActs() (acts, refreshRows int64) { return c.otherActs, c.otherRef }
