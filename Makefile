@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-sketch bench-engine bench-gate-files bench-diff bench-accept repro golden golden-check replay-check
+.PHONY: all build fmt vet lint test race race-shard bench bench-sketch bench-engine bench-shard bench-gate-files bench-diff bench-accept repro golden golden-check replay-check
 
 all: build fmt vet test
 
@@ -33,8 +33,15 @@ test:
 
 # The experiments package guards its full sweeps behind -short so the
 # race pass stays within CI's time budget.
-race:
+race: race-shard
 	$(GO) test -race -short ./...
+
+# The sharded engine's goroutines + epoch barrier under the race
+# detector: the engine/sim shard suites, then an 8-shard catsim run on
+# the 8-channel DDR5 geometry end to end.
+race-shard:
+	$(GO) test -race -run 'Shard|Affine' ./internal/engine ./internal/sim
+	$(GO) run -race ./cmd/catsim -geometry ddr5 -cores 8 -affine -shards 8 -workload black -scheme DRCAT -scale 0.02
 
 # Benchmark smoke: every benchmark once, no measurement repetition.
 bench:
@@ -61,27 +68,39 @@ bench-engine:
 	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCH_ENGINE_TIME) -count=$(BENCH_COUNT) -json ./internal/engine > BENCH_engine.json
 	$(GO) run ./cmd/benchdiff -stamp BENCH_engine.json
 
+# Sharded-engine trajectory: the sequential reference vs the partitioned
+# engine at shards=1 (partitioning overhead) and shards=8 (scaling) on
+# the 8-channel DDR5 geometry. All three return byte-identical Results,
+# so seq/shards=8 is a pure wall-clock speedup — ~parity (barrier
+# overhead) on one hardware core, approaching the channel count on >=8.
+BENCH_SHARD_TIME ?= 1x
+bench-shard:
+	$(GO) test -run='^$$' -bench=BenchmarkShard -benchtime=$(BENCH_SHARD_TIME) -count=$(BENCH_COUNT) -json ./internal/sim > BENCH_shard.json
+	$(GO) run ./cmd/benchdiff -stamp BENCH_shard.json
+
 # Gate-stable regeneration of both trajectories: time-based benchtime so
 # micro- and macro-benchmarks alike get real measurement windows, and
 # -count=3 because benchdiff keeps the per-benchmark minimum across
 # repetitions (the noise-robust summary).
 BENCH_GATE_ENGINE_TIME ?= 200ms
 BENCH_GATE_SKETCH_TIME ?= 50ms
+BENCH_GATE_SHARD_TIME ?= 200ms
 bench-gate-files:
 	$(MAKE) bench-engine BENCH_ENGINE_TIME=$(BENCH_GATE_ENGINE_TIME) BENCH_COUNT=3
 	$(MAKE) bench-sketch BENCH_SKETCH_TIME=$(BENCH_GATE_SKETCH_TIME) BENCH_COUNT=3
+	$(MAKE) bench-shard BENCH_SHARD_TIME=$(BENCH_GATE_SHARD_TIME) BENCH_COUNT=3
 
 # The bench-regression gate, exactly as the CI job runs it: regenerate the
 # trajectories at gate-stable settings and fail on any >10% ns/op
 # regression (noise floor 50 ns) against the blessed baselines.
 bench-diff: bench-gate-files
-	$(GO) run ./cmd/benchdiff BENCH_engine.json BENCH_sketch.json
+	$(GO) run ./cmd/benchdiff BENCH_engine.json BENCH_sketch.json BENCH_shard.json
 
 # Rebless the baselines after an *intentional* perf change; eyeball the
 # diff of bench/baseline/*.json before committing.
 bench-accept: bench-gate-files
 	mkdir -p bench/baseline
-	cp BENCH_engine.json BENCH_sketch.json bench/baseline/
+	cp BENCH_engine.json BENCH_sketch.json BENCH_shard.json bench/baseline/
 
 # Full reproduction of the paper's tables and figures at default scale,
 # all cores, shared result cache.

@@ -155,6 +155,23 @@ type Geometry = dram.Geometry
 // Default2Channel returns the paper's Table I geometry.
 func Default2Channel() Geometry { return dram.Default2Channel() }
 
+// GeometrySpec is a declarative, serializable geometry description: a
+// named preset plus field overrides. It round-trips through a compact
+// string form (ParseGeometry / String) and JSON, and implements
+// flag.Value for CLI -geometry flags.
+type GeometrySpec = dram.GeometrySpec
+
+// GeometryPreset is one named entry of the geometry preset registry.
+type GeometryPreset = dram.GeometryPreset
+
+// ParseGeometry parses the compact geometry form "preset" or
+// "preset:key=value,...", e.g. "ddr5:channels=8,ranks=2,banks=32,rows=128Ki".
+// Preset names match case-insensitively; sizes accept Ki/Mi suffixes.
+func ParseGeometry(s string) (GeometrySpec, error) { return dram.ParseGeometry(s) }
+
+// Geometries lists the registered geometry presets in registration order.
+func Geometries() []GeometryPreset { return dram.Geometries() }
+
 // SimConfig configures a full-system simulation run.
 type SimConfig = sim.Config
 

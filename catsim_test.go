@@ -94,6 +94,38 @@ func TestFacadeGeometryAndWorkloads(t *testing.T) {
 	}
 }
 
+func TestFacadeGeometrySpec(t *testing.T) {
+	spec, err := ParseGeometry("ddr5:channels=8,rows=128Ki")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.Geometry()
+	if g.Channels != 8 || g.RowsPerBank != 128*1024 {
+		t.Errorf("geometry = %+v", g)
+	}
+	// String round-trips through ParseGeometry.
+	back, err := ParseGeometry(spec.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Geometry() != g {
+		t.Errorf("round trip changed the geometry: %+v vs %+v", back.Geometry(), g)
+	}
+	// The preset registry is exported and carries the paper baseline.
+	found := false
+	for _, p := range Geometries() {
+		if p.Name == "2ch" && p.Geom == Default2Channel() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Geometries() lacks the 2ch paper baseline")
+	}
+	if _, err := ParseGeometry("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
 func TestFacadeRunPair(t *testing.T) {
 	wl, err := trace.Lookup("black")
 	if err != nil {

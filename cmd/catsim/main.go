@@ -55,8 +55,13 @@ func main() {
 		kernel    = flag.Int("kernel", 0, "kernel attack number (0..11)")
 		oracle    = flag.Bool("oracle", false, "attach the crosstalk oracle (verifies protection)")
 		parallel  = flag.Int("parallel", 0, "concurrent runs for the scheme/baseline pair (0 = GOMAXPROCS)")
+		affine    = flag.Bool("affine", false, "pin core i's stream to channel i mod channels (required by -shards)")
+		shards    = flag.Int("shards", 0, "run the channel-partitioned engine with up to N workers (0 = sequential; needs -affine)")
 		list      = flag.Bool("list", false, "list workloads and exit")
+		geo       dram.GeometrySpec
 	)
+	flag.Var(&geo, "geometry",
+		"geometry spec: a preset with optional overrides, e.g. ddr5 or ddr5:channels=8,rows=128Ki (overrides -quad; see catsim.Geometries)")
 	flag.Parse()
 
 	if *list {
@@ -125,6 +130,11 @@ func main() {
 			geom = dram.Default4Channel()
 		}
 	}
+	if geo.Base != "" {
+		// An explicit -geometry wins over the legacy -quad/-4ch shorthands
+		// (the -4ch mapping policy still applies).
+		geom = geo.Geometry()
+	}
 	cfg := sim.Config{
 		Geometry:           geom,
 		ChannelInterleaved: *fourCh,
@@ -134,6 +144,8 @@ func main() {
 		IntervalNS:         dram.RefreshIntervalNS() * *scale,
 		Seed:               *seed,
 		CheckProtection:    *oracle,
+		ChannelAffine:      *affine,
+		Shards:             *shards,
 	}
 	if olErr == nil {
 		// Size the open-loop budget like the closed loop: the mean arrival

@@ -47,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"catsim/internal/dram"
 	"catsim/internal/experiments"
 	"catsim/internal/mitigation"
 	"catsim/internal/runner"
@@ -80,9 +81,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to `file` on exit")
 		schemes     mitigation.SpecList
+		geo         dram.GeometrySpec
 	)
 	fs.Var(&schemes, "scheme",
 		"scheme spec for the figx sweep, e.g. comet:counters=512,depth=4 (repeatable)")
+	fs.Var(&geo, "geometry",
+		"geometry spec overriding the baseline system in workload-grid figures, e.g. ddr5:channels=8,rows=128Ki")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -138,6 +142,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 		Scale: *scale, Seed: *seed, Quiet: *quiet, Intervals: *intervals,
 		LFSRTrials: *trials, Parallel: *parallel, NoCache: !*cache,
 		Schemes: schemes, Context: ctx,
+	}
+	if geo.Base != "" {
+		o.Geometry = &geo
 	}
 	if *cache {
 		o.Cache = runner.NewCache()

@@ -83,6 +83,32 @@ func TestBadSchemeFlagExitsTwo(t *testing.T) {
 	}
 }
 
+func TestBadGeometryFlagExitsTwo(t *testing.T) {
+	code, _, stderr := runCLI(t, "-geometry", "nope", "figx")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2 (stderr %q)", code, stderr)
+	}
+}
+
+func TestGeometryFlagOverridesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations; skipped with -short")
+	}
+	code, stdout, stderr := runCLI(t,
+		"-q", "-scale", "0.02", "-workloads", "black", "-format", "json",
+		"-geometry", "2ch:rows=8Ki", "figx")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, stderr)
+	}
+	var reports []experiments.Report
+	if err := json.Unmarshal([]byte(stdout), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || len(reports[0].Rows) == 0 {
+		t.Fatalf("reports = %+v", reports)
+	}
+}
+
 func TestJSONFormatDecodesAsReports(t *testing.T) {
 	code, stdout, stderr := runCLI(t, "-q", "-format", "json", "table1", "table2", "fig1")
 	if code != 0 {

@@ -60,7 +60,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		capture   = fs.Bool("capture", false, "capture the request sequence instead of simulating")
 		out       = fs.String("o", "", "capture output file (default stdout)")
 		traceFile = fs.String("trace", "", "replay this v1 trace file instead of building generators")
+		geo       dram.GeometrySpec
 	)
+	fs.Var(&geo, "geometry",
+		"geometry spec for live/capture runs, e.g. ddr5:channels=8,rows=128Ki (replays adopt the capture's geometry)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -80,6 +83,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg, err := buildConfig(*wlName, *requests, *cores, *attacker, *scheme, *threshold, *scale, *seed, *oracle)
 	if err != nil {
 		return fail(err)
+	}
+	if geo.Base != "" {
+		// Live and capture runs honour the override; the -trace branch
+		// below re-zeroes Geometry so replays keep the capture's.
+		cfg.Geometry = geo.Geometry()
 	}
 
 	if *capture {

@@ -49,6 +49,35 @@ func TestCaptureReplayMatchesLiveRun(t *testing.T) {
 	}
 }
 
+// TestGeometryFlagCaptureReplay: -geometry steers live and capture runs;
+// the capture embeds that geometry, so its replay — which ignores the
+// flag and adopts the capture's — reproduces the run byte for byte.
+func TestGeometryFlagCaptureReplay(t *testing.T) {
+	tr := filepath.Join(t.TempDir(), "geo.v1")
+	wl := []string{"-workload", "black", "-requests", "2000", "-cores", "4",
+		"-geometry", "4ch:rows=8Ki"}
+
+	exec := func(args ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		if code := run(append(append([]string{}, wl...), args...), &out, &errb); code != 0 {
+			t.Fatalf("run %v: exit %d\n%s", args, code, errb.String())
+		}
+		return out.String()
+	}
+
+	live := exec("-json")
+	exec("-capture", "-o", tr)
+	if replayed := exec("-trace", tr, "-json"); live != replayed {
+		t.Error("replay of a -geometry capture differs from the live run")
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-geometry", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("unknown geometry preset: exit %d, want 2 (%s)", code, errb.String())
+	}
+}
+
 // TestClosedLoopCaptureReplay exercises the per-core closed-loop path.
 func TestClosedLoopCaptureReplay(t *testing.T) {
 	tr := filepath.Join(t.TempDir(), "closed.v1")

@@ -146,3 +146,15 @@ func (p *ChannelInterleaved) Encode(c Coord) int64 {
 	a = a<<f.chBits | uint64(c.Bank.Channel)
 	return int64(a << f.offBits)
 }
+
+// PinChannel remaps addr onto channel ch, preserving row, rank, bank and
+// column under policy p. Sharded runs use it to give each core a
+// channel-local view of its address stream: the remapped stream exercises
+// exactly one channel's banks, so per-channel partitions own disjoint
+// state. The line offset is truncated (Encode returns line-aligned
+// addresses), which no decode-side consumer observes.
+func PinChannel(p Policy, addr int64, ch int) int64 {
+	c := p.Decode(addr)
+	c.Bank.Channel = ch
+	return p.Encode(c)
+}

@@ -136,3 +136,36 @@ func TestInvalidGeometryRejected(t *testing.T) {
 		t.Error("expected validation error")
 	}
 }
+
+// TestPinChannel checks the channel-remap helper preserves every
+// coordinate but the channel, lands in range, and is idempotent, under
+// both policies.
+func TestPinChannel(t *testing.T) {
+	g := dram.Default4Channel()
+	row, err := NewRowInterleaved(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chp, err := NewChannelInterleaved(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{row, chp} {
+		rng := uint64(1)
+		for i := 0; i < 2000; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			addr := int64(rng % uint64(g.TotalBytes()))
+			ch := int(rng>>32) % g.Channels
+			pinned := PinChannel(p, addr, ch)
+			got := p.Decode(pinned)
+			want := p.Decode(addr)
+			want.Bank.Channel = ch
+			if got != want {
+				t.Fatalf("%s: PinChannel(%#x, %d) decoded %+v, want %+v", p.Name(), addr, ch, got, want)
+			}
+			if again := PinChannel(p, pinned, ch); again != pinned {
+				t.Fatalf("%s: PinChannel not idempotent: %#x -> %#x", p.Name(), pinned, again)
+			}
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package dram
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file makes geometry configuration data instead of code, mirroring
+// the mitigation SchemeSpec: a GeometrySpec is a serializable value with a
+// compact string form ("ddr5:channels=8,ranks=2,banks=32,rows=128Ki") — a
+// named base preset plus field overrides — that round-trips through
+// String()/ParseGeometry/JSON and backs a -geometry flag.Value in every
+// CLI. Presets wrap the paper's Default* constructors and self-register
+// below; ParseGeometry validates the resolved geometry, so a bad -geometry
+// fails with a clear error before any simulation state is built.
+
+// GeometrySpec names a base preset and carries the fully resolved
+// geometry. The string form renders only the fields that differ from the
+// base, so "2ch" and "2ch:rows=128Ki" stay compact and canonical.
+type GeometrySpec struct {
+	// Base is the preset the spec started from ("" reads as "2ch").
+	Base string
+	// Geom is the resolved geometry, always validated by ParseGeometry.
+	Geom Geometry
+}
+
+// GeometryPreset is one registered named geometry.
+type GeometryPreset struct {
+	Name string
+	Doc  string
+	Geom Geometry
+}
+
+var (
+	geoPresets  []GeometryPreset
+	geoByName   = map[string]Geometry{}
+	geoOverride = []string{"channels", "ranks", "banks", "rows", "colbytes", "linebytes"}
+)
+
+// RegisterGeometry installs a named preset. Registering a duplicate name
+// or an invalid geometry panics (a programming error, caught by the
+// registry test).
+func RegisterGeometry(name, doc string, g Geometry) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" || strings.ContainsAny(name, ":,= ") {
+		panic(fmt.Sprintf("dram: RegisterGeometry(%q): bad preset name", name))
+	}
+	if _, dup := geoByName[name]; dup {
+		panic(fmt.Sprintf("dram: RegisterGeometry(%q): already registered", name))
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("dram: RegisterGeometry(%q): %v", name, err))
+	}
+	geoByName[name] = g
+	geoPresets = append(geoPresets, GeometryPreset{Name: name, Doc: doc, Geom: g})
+}
+
+func init() {
+	RegisterGeometry("2ch", "paper baseline: 2 channels, 8 banks/rank, 64Ki rows (Table I)", Default2Channel())
+	RegisterGeometry("4ch", "4-channel mapping of §VIII-B (2 ranks/channel, 64 banks)", Default4Channel())
+	RegisterGeometry("quad2ch", "quad-core 2-channel system (128Ki rows/bank)", QuadCore2Channel())
+	RegisterGeometry("quad4ch", "quad-core 4-channel system (128Ki rows/bank)", QuadCore4Channel())
+	RegisterGeometry("ddr5", "8-channel DDR5-class organisation (2 ranks, 32 banks/rank, 8KiB rows)", DDR5_8Channel())
+}
+
+// DDR5_8Channel is an 8-channel DDR5-class organisation: 2 ranks/channel,
+// 32 banks/rank and 8 KiB rows. It is the sharded-engine scaling target,
+// not a paper configuration (Table I is Default2Channel).
+func DDR5_8Channel() Geometry {
+	return Geometry{
+		Channels:    8,
+		RanksPerCh:  2,
+		BanksPerRk:  32,
+		RowsPerBank: 64 * 1024,
+		ColBytes:    8 * 1024,
+		LineBytes:   64,
+	}
+}
+
+// Geometries lists the registered presets in registration order.
+func Geometries() []GeometryPreset {
+	out := make([]GeometryPreset, len(geoPresets))
+	copy(out, geoPresets)
+	return out
+}
+
+// Geometry returns the resolved geometry.
+func (s GeometrySpec) Geometry() Geometry { return s.Geom }
+
+// DefaultGeometrySpec is the paper's baseline ("2ch").
+func DefaultGeometrySpec() GeometrySpec {
+	return GeometrySpec{Base: "2ch", Geom: Default2Channel()}
+}
+
+// SpecOf renders a geometry as a spec: an exactly matching preset when one
+// exists, otherwise the baseline plus overrides.
+func SpecOf(g Geometry) GeometrySpec {
+	for _, p := range geoPresets {
+		if p.Geom == g {
+			return GeometrySpec{Base: p.Name, Geom: g}
+		}
+	}
+	return GeometrySpec{Base: "2ch", Geom: g}
+}
+
+// fieldOf returns the override field's value of g, by canonical name.
+func fieldOf(g Geometry, name string) int {
+	switch name {
+	case "channels":
+		return g.Channels
+	case "ranks":
+		return g.RanksPerCh
+	case "banks":
+		return g.BanksPerRk
+	case "rows":
+		return g.RowsPerBank
+	case "colbytes":
+		return g.ColBytes
+	case "linebytes":
+		return g.LineBytes
+	}
+	panic("dram: unknown geometry field " + name)
+}
+
+func setField(g *Geometry, name string, v int) {
+	switch name {
+	case "channels":
+		g.Channels = v
+	case "ranks":
+		g.RanksPerCh = v
+	case "banks":
+		g.BanksPerRk = v
+	case "rows":
+		g.RowsPerBank = v
+	case "colbytes":
+		g.ColBytes = v
+	case "linebytes":
+		g.LineBytes = v
+	}
+}
+
+// formatSize renders a dimension with a Ki/Mi suffix when exact.
+func formatSize(v int) string {
+	switch {
+	case v >= 1<<20 && v%(1<<20) == 0:
+		return strconv.Itoa(v>>20) + "Mi"
+	case v >= 1<<10 && v%(1<<10) == 0:
+		return strconv.Itoa(v>>10) + "Ki"
+	default:
+		return strconv.Itoa(v)
+	}
+}
+
+// parseSize parses a dimension with an optional Ki/Mi/Gi suffix.
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "Ki"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "Ki")
+	case strings.HasSuffix(s, "Mi"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "Mi")
+	case strings.HasSuffix(s, "Gi"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "Gi")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("want integer (optionally Ki/Mi/Gi)")
+	}
+	return n * mult, nil
+}
+
+// String renders the compact form: the base preset name, then the fields
+// that differ from it in canonical order, e.g. "2ch:channels=8,rows=128Ki".
+// ParseGeometry inverts it.
+func (s GeometrySpec) String() string {
+	base := s.Base
+	if base == "" {
+		base = "2ch"
+	}
+	ref, ok := geoByName[base]
+	if !ok {
+		// Unknown base (hand-built spec): spell every field out over the
+		// baseline so the string still parses back to the same geometry.
+		base, ref = "2ch", Default2Channel()
+	}
+	var parts []string
+	for _, name := range geoOverride {
+		if v := fieldOf(s.Geom, name); v != fieldOf(ref, name) {
+			parts = append(parts, name+"="+formatSize(v))
+		}
+	}
+	if len(parts) == 0 {
+		return base
+	}
+	return base + ":" + strings.Join(parts, ",")
+}
+
+// ParseGeometry parses the compact form "<preset>" or
+// "<preset>:field=value,..." (fields: channels, ranks, banks, rows,
+// colbytes, linebytes; values accept Ki/Mi/Gi suffixes). A bare
+// "field=value,..." list applies over the 2ch baseline. The resolved
+// geometry is validated, so a non-power-of-two or non-positive dimension
+// fails here with a clear error.
+func ParseGeometry(str string) (GeometrySpec, error) {
+	in := strings.TrimSpace(str)
+	basePart, paramPart, hasParams := strings.Cut(in, ":")
+	if !hasParams && strings.Contains(basePart, "=") {
+		basePart, paramPart, hasParams = "2ch", basePart, true
+	}
+	base := strings.ToLower(strings.TrimSpace(basePart))
+	if base == "" {
+		base = "2ch"
+	}
+	geom, ok := geoByName[base]
+	if !ok {
+		names := make([]string, len(geoPresets))
+		for i, p := range geoPresets {
+			names[i] = p.Name
+		}
+		return GeometrySpec{}, fmt.Errorf("dram: geometry %q: unknown preset %q (valid: %s)",
+			str, basePart, strings.Join(names, ", "))
+	}
+	spec := GeometrySpec{Base: base, Geom: geom}
+	if !hasParams {
+		return spec, nil
+	}
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(paramPart, ",") {
+		name, value, ok := strings.Cut(kv, "=")
+		name = strings.ToLower(strings.TrimSpace(name))
+		value = strings.TrimSpace(value)
+		if !ok || name == "" || value == "" {
+			return GeometrySpec{}, fmt.Errorf("dram: geometry %q: field %q is not name=value", str, kv)
+		}
+		valid := false
+		for _, f := range geoOverride {
+			if f == name {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return GeometrySpec{}, fmt.Errorf("dram: geometry %q: unknown field %q (accepted: %s)",
+				str, name, strings.Join(geoOverride, ", "))
+		}
+		if seen[name] {
+			return GeometrySpec{}, fmt.Errorf("dram: geometry %q: duplicate field %q", str, name)
+		}
+		seen[name] = true
+		v, err := parseSize(value)
+		if err != nil {
+			return GeometrySpec{}, fmt.Errorf("dram: geometry %q: bad field %s=%q: %v", str, name, value, err)
+		}
+		setField(&spec.Geom, name, v)
+	}
+	if err := spec.Geom.Validate(); err != nil {
+		return GeometrySpec{}, fmt.Errorf("dram: geometry %q: %w", str, err)
+	}
+	return spec, nil
+}
+
+// Set implements flag.Value, so a *GeometrySpec can back a -geometry flag.
+func (s *GeometrySpec) Set(str string) error {
+	spec, err := ParseGeometry(str)
+	if err != nil {
+		return err
+	}
+	*s = spec
+	return nil
+}
+
+// MarshalJSON renders the compact string form (lossless: every override is
+// an exact integer).
+func (s GeometrySpec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses the compact string form and re-validates.
+func (s *GeometrySpec) UnmarshalJSON(data []byte) error {
+	var str string
+	if err := json.Unmarshal(data, &str); err != nil {
+		return err
+	}
+	return s.Set(str)
+}

@@ -1,0 +1,144 @@
+package dram
+
+import (
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestGeometryPresetsRegistered: every preset resolves by name, validates,
+// and round-trips through the compact string form untouched.
+func TestGeometryPresetsRegistered(t *testing.T) {
+	want := map[string]Geometry{
+		"2ch":     Default2Channel(),
+		"4ch":     Default4Channel(),
+		"quad2ch": QuadCore2Channel(),
+		"quad4ch": QuadCore4Channel(),
+		"ddr5":    DDR5_8Channel(),
+	}
+	got := Geometries()
+	if len(got) != len(want) {
+		t.Fatalf("got %d presets, want %d", len(got), len(want))
+	}
+	for _, p := range got {
+		if p.Geom != want[p.Name] {
+			t.Errorf("preset %q = %+v, want %+v", p.Name, p.Geom, want[p.Name])
+		}
+		if p.Doc == "" {
+			t.Errorf("preset %q has no doc string", p.Name)
+		}
+		spec, err := ParseGeometry(p.Name)
+		if err != nil {
+			t.Fatalf("ParseGeometry(%q): %v", p.Name, err)
+		}
+		if spec.Geom != p.Geom || spec.String() != p.Name {
+			t.Errorf("ParseGeometry(%q) = %v (string %q), want the preset itself", p.Name, spec.Geom, spec.String())
+		}
+	}
+}
+
+// TestGeometrySpecRoundTrip: string and JSON forms invert exactly,
+// including Ki-suffixed overrides and the issue's ddr5 example.
+func TestGeometrySpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"2ch",
+		"4ch:rows=128Ki",
+		"ddr5:channels=8,ranks=2,banks=32,rows=128Ki",
+		"2ch:channels=8,colbytes=8Ki",
+		"channels=4", // bare overrides apply over the 2ch baseline
+		"quad4ch:linebytes=128",
+	}
+	for _, in := range cases {
+		spec, err := ParseGeometry(in)
+		if err != nil {
+			t.Fatalf("ParseGeometry(%q): %v", in, err)
+		}
+		again, err := ParseGeometry(spec.String())
+		if err != nil {
+			t.Fatalf("ParseGeometry(String(%q)=%q): %v", in, spec.String(), err)
+		}
+		if again != spec {
+			t.Errorf("%q: string round-trip %+v != %+v", in, again, spec)
+		}
+		blob, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal %q: %v", in, err)
+		}
+		var back GeometrySpec
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", blob, err)
+		}
+		if back != spec {
+			t.Errorf("%q: JSON round-trip %+v != %+v", in, back, spec)
+		}
+	}
+	spec, err := ParseGeometry("ddr5:channels=8,rows=128Ki")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Geom.Channels != 8 || spec.Geom.RowsPerBank != 128*1024 {
+		t.Errorf("override mis-applied: %+v", spec.Geom)
+	}
+}
+
+// TestGeometrySpecFlagValue: a *GeometrySpec works as a flag.Value.
+func TestGeometrySpecFlagValue(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	spec := DefaultGeometrySpec()
+	fs.Var(&spec, "geometry", "")
+	if err := fs.Parse([]string{"-geometry", "4ch:rows=128Ki"}); err != nil {
+		t.Fatal(err)
+	}
+	want := QuadCore4Channel()
+	if spec.Geometry() != want {
+		t.Errorf("flag parsed %+v, want %+v", spec.Geometry(), want)
+	}
+	fs2 := flag.NewFlagSet("t2", flag.ContinueOnError)
+	fs2.SetOutput(&strings.Builder{})
+	spec2 := DefaultGeometrySpec()
+	fs2.Var(&spec2, "geometry", "")
+	if err := fs2.Parse([]string{"-geometry", "2ch:rows=100"}); err == nil {
+		t.Error("non-power-of-two rows parsed without error")
+	}
+}
+
+// TestParseGeometryErrors: every malformed form fails with a message that
+// names the problem (the satellite "bad geometry fails loudly" contract).
+func TestParseGeometryErrors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ddr6", "unknown preset"},
+		{"2ch:gadgets=3", "unknown field"},
+		{"2ch:channels", "not name=value"},
+		{"2ch:channels=abc", "want integer"},
+		{"2ch:channels=3", "power of two"},
+		{"2ch:rows=0", "positive"},
+		{"2ch:channels=2,channels=4", "duplicate field"},
+		{"2ch:linebytes=32Ki", "exceeds row size"},
+	}
+	for _, c := range cases {
+		_, err := ParseGeometry(c.in)
+		if err == nil {
+			t.Errorf("ParseGeometry(%q) = nil error, want %q", c.in, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseGeometry(%q) error %q does not mention %q", c.in, err, c.want)
+		}
+	}
+}
+
+// TestSpecOf: a known geometry renders as its preset name; an unknown one
+// spells out its differences over the baseline and still round-trips.
+func TestSpecOf(t *testing.T) {
+	if s := SpecOf(QuadCore4Channel()); s.String() != "quad4ch" {
+		t.Errorf("SpecOf(quad4ch) = %q", s.String())
+	}
+	g := Default2Channel()
+	g.Channels = 16
+	s := SpecOf(g)
+	back, err := ParseGeometry(s.String())
+	if err != nil || back.Geom != g {
+		t.Errorf("SpecOf custom: %q parsed back to %+v, %v", s.String(), back.Geom, err)
+	}
+}

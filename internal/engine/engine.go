@@ -120,7 +120,20 @@ type Config struct {
 	// the whole run. Observationally identical to per-request scheduling;
 	// locked by the scheduler equivalence test.
 	Batch bool
+
+	// Channels, when non-nil, confines the run to the half-open channel
+	// range [Lo, Hi): a decoded request outside it fails the run loudly.
+	// RunSharded sets it on every partition so a mis-pinned stream can
+	// never silently corrupt another shard's banks.
+	Channels *ChannelRange
+
+	// barrier, when non-nil, paces sharded partitions in lockstep epochs
+	// (set by RunSharded only; see shard.go for the determinism contract).
+	barrier *epochBarrier
 }
+
+// ChannelRange is a half-open interval [Lo, Hi) of channel indices.
+type ChannelRange struct{ Lo, Hi int }
 
 // Sched names a scheduler implementation.
 type Sched int
@@ -173,6 +186,15 @@ func (c *Config) validate() error {
 	case c.IntervalCPU < 0 || c.EpochCPU < 0:
 		return fmt.Errorf("engine: negative interval or epoch length")
 	}
+	// Validate the geometry at run entry: Flat/TotalBanks silently mis-map
+	// (or panic) on degenerate dimensions, so fail with a clear error
+	// before any simulation state is touched.
+	if err := c.Geometry.Validate(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if r := c.Channels; r != nil && (r.Lo < 0 || r.Hi <= r.Lo || r.Hi > c.Geometry.Channels) {
+		return fmt.Errorf("engine: channel range [%d,%d) out of [0,%d)", r.Lo, r.Hi, c.Geometry.Channels)
+	}
 	for i, cs := range c.Cores {
 		if cs.CPU == nil || cs.Gen == nil {
 			return fmt.Errorf("engine: core %d missing CPU or generator", i)
@@ -224,6 +246,12 @@ type Sample struct {
 	// Oracle exposure at epoch end, cumulative (protection runs only).
 	MissedVictimRows  int64 `json:"missed_victim_rows"`
 	ExposedVictimRows int64 `json:"exposed_victim_rows"`
+
+	// latencySum is the integer read-latency sum behind AvgReadLatencyNS
+	// (bus cycles). Kept unexported — invisible to JSON — so the sharded
+	// merge can recompute the merged epoch's average from exact integer
+	// sums instead of a lossy float round-trip.
+	latencySum int64
 }
 
 // Result is what one engine run measures beyond the state the caller can
@@ -276,6 +304,7 @@ func (s *sampler) flush(endCPU int64) {
 		Reads:            ds.Reads,
 		Writes:           ds.Writes,
 		VictimBusyCycles: ds.VictimRefreshBusy,
+		latencySum:       ds.ReadLatencySum,
 	}
 	if ds.Reads > 0 {
 		out.AvgReadLatencyNS = float64(ds.ReadLatencySum) / float64(ds.Reads) * s.cfg.BusCycleNS
@@ -301,6 +330,33 @@ func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
+	perBank := make([]int64, cfg.Geometry.TotalBanks())
+	endCPU, smp, err := runLoop(&cfg, perBank)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Ctrl.FlushWrites(endCPU / int64(cfg.CPUPerBus))
+
+	res := Result{EndCPU: endCPU, PerBankActs: perBank}
+	if smp != nil {
+		// Close the trailing partial epoch so drain-time write traffic is
+		// accounted; a run ending exactly on a boundary emits no empty
+		// tail.
+		if endCPU > smp.lastCPU || len(smp.samples) == 0 {
+			smp.flush(endCPU)
+		}
+		res.Samples = smp.samples
+	}
+	return res, nil
+}
+
+// runLoop executes the event loop until every slot drains: it issues all
+// requests and drains the cores' outstanding reads, but performs no
+// terminal write flush and emits no trailing epoch sample. Finalization
+// differs between the sequential path (Run flushes at its own end) and the
+// sharded path (RunSharded flushes every partition's write queue at the
+// global end, so drain timing matches a single merged run).
+func runLoop(cfg *Config, perBank []int64) (int64, *sampler, error) {
 	nc := len(cfg.Cores)
 	no := len(cfg.Open)
 	n := nc + no
@@ -328,10 +384,13 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	var openEnd int64
-	perBank := make([]int64, cfg.Geometry.TotalBanks())
 	crossBank, hasCrossBank := cfg.Scheme.(mitigation.CrossBank)
-	smp := newSampler(&cfg)
+	smp := newSampler(cfg)
 	nextInterval := cfg.IntervalCPU
+	chLo, chHi := 0, cfg.Geometry.Channels
+	if cfg.Channels != nil {
+		chLo, chHi = cfg.Channels.Lo, cfg.Channels.Hi
+	}
 
 	remaining := n
 	for remaining > 0 {
@@ -362,6 +421,9 @@ func Run(cfg Config) (Result, error) {
 				for at >= smp.nextCPU {
 					smp.flush(smp.nextCPU)
 					smp.nextCPU += cfg.EpochCPU
+					if cfg.barrier != nil {
+						cfg.barrier.arrive()
+					}
 				}
 			}
 			req := pendReq[j]
@@ -375,6 +437,10 @@ func Run(cfg Config) (Result, error) {
 			}
 
 			coord := cfg.Policy.Decode(req.Addr)
+			if coord.Bank.Channel < chLo || coord.Bank.Channel >= chHi {
+				return 0, smp, fmt.Errorf("engine: open slot %d request for channel %d outside shard channels [%d,%d)",
+					j, coord.Bank.Channel, chLo, chHi)
+			}
 			flat := cfg.Geometry.Flat(coord.Bank)
 			perBank[flat]++
 			issueBus := issueCPU / int64(cfg.CPUPerBus)
@@ -461,6 +527,9 @@ func Run(cfg Config) (Result, error) {
 			for cs.CPU.Now >= smp.nextCPU {
 				smp.flush(smp.nextCPU)
 				smp.nextCPU += cfg.EpochCPU
+				if cfg.barrier != nil {
+					cfg.barrier.arrive()
+				}
 			}
 		}
 		req := cs.Gen.Next()
@@ -477,6 +546,10 @@ func Run(cfg Config) (Result, error) {
 		}
 
 		coord := cfg.Policy.Decode(req.Addr)
+		if coord.Bank.Channel < chLo || coord.Bank.Channel >= chHi {
+			return 0, smp, fmt.Errorf("engine: core %d request for channel %d outside shard channels [%d,%d)",
+				ci, coord.Bank.Channel, chLo, chHi)
+		}
 		flat := cfg.Geometry.Flat(coord.Bank)
 		perBank[flat]++
 		issueBus := issueCPU / int64(cfg.CPUPerBus)
@@ -548,17 +621,5 @@ func Run(cfg Config) (Result, error) {
 			endCPU = d
 		}
 	}
-	cfg.Ctrl.FlushWrites(endCPU / int64(cfg.CPUPerBus))
-
-	res := Result{EndCPU: endCPU, PerBankActs: perBank}
-	if smp != nil {
-		// Close the trailing partial epoch so drain-time write traffic is
-		// accounted; a run ending exactly on a boundary emits no empty
-		// tail.
-		if endCPU > smp.lastCPU || len(smp.samples) == 0 {
-			smp.flush(endCPU)
-		}
-		res.Samples = smp.samples
-	}
-	return res, nil
+	return endCPU, smp, nil
 }

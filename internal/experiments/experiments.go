@@ -64,6 +64,11 @@ type Options struct {
 	// (the CLI's repeatable -scheme flag). Thresholds still come from the
 	// figure's own sweep; a spec's Threshold field is ignored there.
 	Schemes []mitigation.SchemeSpec
+	// Geometry overrides the baseline dual-core 2-channel system in every
+	// workload-grid figure (the CLI's -geometry flag). Figures that sweep
+	// explicit per-system geometries (fig11) and the kernel-level studies
+	// (fig2, tables) are deliberately unaffected.
+	Geometry *dram.GeometrySpec
 
 	// Parallel caps concurrently executing simulation cells
 	// (0 = GOMAXPROCS, 1 = the sequential reference path). Results and
@@ -168,8 +173,12 @@ func baseConfig(o Options, wl trace.Spec, spec sim.SchemeSpec, threshold uint32)
 	if spec.Kind == mitigation.KindPRA && spec.PRAProb == 0 {
 		spec.PRAProb = mitigation.PRAProbabilityForThreshold(threshold)
 	}
+	geom := dram.Default2Channel()
+	if o.Geometry != nil {
+		geom = o.Geometry.Geometry()
+	}
 	return sim.Config{
-		Geometry:        dram.Default2Channel(),
+		Geometry:        geom,
 		Timing:          dram.DDR3_1600(),
 		Cores:           2,
 		RequestsPerCore: reqPerCore,

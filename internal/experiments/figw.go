@@ -108,8 +108,12 @@ func figwConfig(o Options, ol workload.Config, frac float64, spec sim.SchemeSpec
 	if ol.Requests < 2000 {
 		ol.Requests = 2000
 	}
+	geom := dram.Default2Channel()
+	if o.Geometry != nil {
+		geom = o.Geometry.Geometry()
+	}
 	return sim.Config{
-		Geometry:       dram.Default2Channel(),
+		Geometry:       geom,
 		Timing:         dram.DDR3_1600(),
 		OpenLoop:       &ol,
 		Scheme:         spec,

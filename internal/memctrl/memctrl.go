@@ -44,6 +44,20 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
+// Add returns the field-wise sum s + o. The sharded engine folds
+// per-partition controller stats into system totals with it.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Reads:             s.Reads + o.Reads,
+		Writes:            s.Writes + o.Writes,
+		WriteDrains:       s.WriteDrains + o.WriteDrains,
+		ReadLatencySum:    s.ReadLatencySum + o.ReadLatencySum,
+		AutoRefreshes:     s.AutoRefreshes + o.AutoRefreshes,
+		VictimRefreshRows: s.VictimRefreshRows + o.VictimRefreshRows,
+		VictimRefreshBusy: s.VictimRefreshBusy + o.VictimRefreshBusy,
+	}
+}
+
 // Write-queue watermarks (Table I: capacity 64). Writes are posted into a
 // per-channel queue and drained in bursts once the high watermark is
 // reached, down to the low watermark — USIMM's write-drain policy. Reads

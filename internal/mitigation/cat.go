@@ -121,6 +121,7 @@ func (c *CAT) MaxTreeDepth() int {
 // catBuilder adapts NewCAT to the spec registry for one tree policy.
 func catBuilder(policy core.Policy) Builder {
 	return Builder{
+		ShardSafe: true, // one FlatTree per bank, no shared state
 		Params: []ParamDef{
 			{Name: "counters", Doc: "tree counters per bank M"},
 			{Name: "levels", Doc: "maximum tree levels L (default 11)"},

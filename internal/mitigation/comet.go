@@ -152,6 +152,9 @@ func (c *CoMeT) Snapshot() Snapshot {
 
 func init() {
 	Register(KindCoMeT, Builder{
+		// Per-bank CMS + RAT; hash seeds derive from (seed, bank) alone and
+		// no randomness is drawn at runtime, so state decomposes by bank.
+		ShardSafe: true,
 		Params: []ParamDef{
 			{Name: "counters", Doc: "sketch counters per bank"},
 			{Name: "depth", Doc: "sketch hash rows (default 4)"},

@@ -166,7 +166,8 @@ func init() {
 			{Name: "counters", Doc: "on-chip cache entries per bank"},
 			{Name: "ways", Doc: "cache associativity (default 8)"},
 		},
-		Short: "CC",
+		Short:     "CC",
+		ShardSafe: true, // tags, values and LRU state all indexed by bank
 		Build: func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error) {
 			entries, err := spec.Params.Int("counters", 0)
 			if err != nil {

@@ -123,6 +123,19 @@ func (c Counts) Sub(prev Counts) Counts {
 	}
 }
 
+// Add returns the field-wise sum c + o: the merged activity of disjoint
+// scheme instances (the sharded engine's per-partition fold).
+func (c Counts) Add(o Counts) Counts {
+	return Counts{
+		Activations:   c.Activations + o.Activations,
+		RefreshEvents: c.RefreshEvents + o.RefreshEvents,
+		RowsRefreshed: c.RowsRefreshed + o.RowsRefreshed,
+		SRAMAccesses:  c.SRAMAccesses + o.SRAMAccesses,
+		PRNGBits:      c.PRNGBits + o.PRNGBits,
+		ExtraMemAcc:   c.ExtraMemAcc + o.ExtraMemAcc,
+	}
+}
+
 // Snapshot is an instantaneous view of a scheme's tracking state, sampled
 // by the epoch engine at epoch boundaries.
 type Snapshot struct {
@@ -181,6 +194,14 @@ type BankRefresh struct {
 // by the last OnActivate; the activating bank's ranges are still returned
 // by OnActivate itself. The returned slice is only valid until the next
 // OnActivate, which clears it — consume it once per activation.
+//
+// CrossBank couples state across every bank, which makes the scheme
+// incompatible with the channel-partitioned engine: implementing this
+// interface commits the scheme to the sequential reference engine (its
+// cross-shard refreshes are the serialized commit point), and its builder
+// must therefore never declare ShardSafe. The engine rejects CrossBank
+// schemes in sharded runs, and the mitigation shard-safety test locks the
+// registry against the contradiction.
 type CrossBank interface {
 	PendingCrossBank() []BankRefresh
 }
@@ -243,7 +264,8 @@ func clampRange(lo, hi, rows int) RefreshRange {
 
 func init() {
 	Register(KindNone, Builder{
-		Label: func(SchemeSpec) string { return "None" },
-		Build: func(SchemeSpec, int, int) (Scheme, error) { return NewNone(), nil },
+		ShardSafe: true, // stateless
+		Label:     func(SchemeSpec) string { return "None" },
+		Build:     func(SchemeSpec, int, int) (Scheme, error) { return NewNone(), nil },
 	})
 }

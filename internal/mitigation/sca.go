@@ -105,7 +105,8 @@ func (s *SCA) Snapshot() Snapshot {
 
 func init() {
 	Register(KindSCA, Builder{
-		Params: []ParamDef{{Name: "counters", Doc: "group counters per bank M"}},
+		Params:    []ParamDef{{Name: "counters", Doc: "group counters per bank M"}},
+		ShardSafe: true, // per-bank counter groups, no shared state
 		Build: func(spec SchemeSpec, banks, rowsPerBank int) (Scheme, error) {
 			m, err := spec.Params.Int("counters", 0)
 			if err != nil {

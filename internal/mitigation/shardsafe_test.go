@@ -1,0 +1,51 @@
+package mitigation
+
+import "testing"
+
+// TestShardSafeContract locks the shard-safety declarations against the
+// scheme implementations: a CrossBank scheme couples state across banks
+// and must never be declared shard-safe, and the schemes with a shared
+// runtime PRNG (PRA, DSAC) must stay off the partitioned path too — one
+// source feeding every bank's decisions cannot be split per channel
+// without reordering its draw sequence.
+func TestShardSafeContract(t *testing.T) {
+	wantSafe := map[Kind]bool{
+		KindNone:         true,
+		KindSCA:          true,
+		KindPRCAT:        true,
+		KindDRCAT:        true,
+		KindCounterCache: true,
+		KindCoMeT:        true,
+		KindPRA:          false, // one PRNG serves all banks
+		KindStochastic:   false, // one source drives every bank's table
+		KindABACuS:       false, // CrossBank: shared Misra-Gries counters
+	}
+	for _, k := range Kinds() {
+		want, known := wantSafe[k]
+		if !known {
+			t.Errorf("kind %v missing from the shard-safety table: classify it (and this test)", k)
+			continue
+		}
+		if got := ShardSafe(k); got != want {
+			t.Errorf("ShardSafe(%v) = %t, want %t", k, got, want)
+		}
+		spec := SchemeSpec{Kind: k, Threshold: 64}
+		if k != KindNone {
+			spec.Params = Params{}
+			switch k {
+			case KindPRA:
+				spec.Params.SetFloat("p", 0.01)
+				spec.Params.SetUint64("seed", 7)
+			default:
+				spec.Params.SetInt("counters", 16)
+			}
+		}
+		scheme, err := Build(spec, 4, 1024)
+		if err != nil {
+			t.Fatalf("build %v: %v", k, err)
+		}
+		if _, cross := scheme.(CrossBank); cross && ShardSafe(k) {
+			t.Errorf("%v implements CrossBank but is declared shard-safe", k)
+		}
+	}
+}

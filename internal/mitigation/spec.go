@@ -198,6 +198,16 @@ type Builder struct {
 	// Short is the family's figure-label abbreviation ("CC", "DSAC");
 	// empty uses the Kind name.
 	Short string
+	// ShardSafe declares that the family's runtime state decomposes by
+	// flat bank index with no cross-bank coupling and no shared PRNG
+	// stream: running one instance per channel over channel-confined
+	// traffic is observationally identical to one instance over the merged
+	// stream. The sharded engine partitions only shard-safe schemes;
+	// everything else (PRA and DSAC share one PRNG across banks, ABACuS
+	// implements CrossBank) runs on the sequential reference engine. The
+	// shard-safety test locks the contract: a CrossBank implementer must
+	// never be marked shard-safe.
+	ShardSafe bool
 	// Label renders the figure label for a spec; nil selects the default
 	// "<Short>_<counters>" form. Registered next to Build so every
 	// caller — sim grids, report tables, cache keys — shares one naming.
@@ -228,6 +238,13 @@ func Register(k Kind, b Builder) {
 func BuilderFor(k Kind) (Builder, bool) {
 	b, ok := builders[k]
 	return b, ok
+}
+
+// ShardSafe reports whether the kind's registered builder declared its
+// state bank-decomposable (see Builder.ShardSafe). Unregistered kinds are
+// not shard-safe.
+func ShardSafe(k Kind) bool {
+	return builders[k].ShardSafe
 }
 
 // Label renders the figure label for a spec ("DRCAT_64", "CC_1024",

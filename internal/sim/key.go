@@ -54,5 +54,14 @@ func CacheKey(cfg Config) string {
 	if cfg.Replay != nil {
 		fmt.Fprintf(&b, "|replay=%016x", cfg.Replay.Digest())
 	}
+	// ChannelAffine changes the request streams, so it must key. The
+	// partitioned engine is keyed as a single semantic bit: every Shards >=
+	// 1 value produces the identical Result (the partition granularity is
+	// fixed at one channel), so keying the exact count would only fragment
+	// the cache — but sharded and sequential runs may legitimately differ
+	// once an interval boundary fires, so they must not share entries.
+	if cfg.ChannelAffine {
+		fmt.Fprintf(&b, "|affine=true|sharded=%t", cfg.sharded())
+	}
 	return b.String()
 }

@@ -74,6 +74,8 @@ func TestCacheKeySeparatesRuns(t *testing.T) {
 		},
 		func(c *Config) { c.Replay = keyContainer(1) },
 		func(c *Config) { c.Replay = keyContainer(2) },
+		func(c *Config) { c.ChannelAffine = true },
+		func(c *Config) { c.ChannelAffine = true; c.Shards = 1 },
 	}
 	seen := map[string]int{CacheKey(base): -1}
 	for i, m := range mutate {
@@ -113,8 +115,26 @@ func keyContainer(addr int64) *trace.Container {
 // added a Config field: teach CacheKey about it (or deliberately exclude
 // it) and update the count here.
 func TestCacheKeyCoversConfig(t *testing.T) {
-	if n := reflect.TypeOf(Config{}).NumField(); n != 22 {
-		t.Errorf("Config has %d fields, CacheKey was written against 22", n)
+	if n := reflect.TypeOf(Config{}).NumField(); n != 24 {
+		t.Errorf("Config has %d fields, CacheKey was written against 24", n)
+	}
+}
+
+// TestCacheKeyShardCountInvariant: Shards is keyed as a semantic bit, not
+// a count — every Shards >= 1 value returns the identical Result, so all
+// of them must share one cache entry (and differ from the sequential
+// engine's).
+func TestCacheKeyShardCountInvariant(t *testing.T) {
+	seq := keyConfig(t)
+	seq.ChannelAffine = true
+	s1, s8 := seq, seq
+	s1.Shards = 1
+	s8.Shards = 8
+	if CacheKey(s1) != CacheKey(s8) {
+		t.Error("shards=1 and shards=8 must share a cache entry")
+	}
+	if CacheKey(seq) == CacheKey(s1) {
+		t.Error("sequential and sharded runs must not share a cache entry")
 	}
 }
 

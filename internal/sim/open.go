@@ -37,8 +37,11 @@ func (c *Config) openConfig() workload.Config {
 }
 
 // closedGen builds core i's request generator: the synthetic workload
-// stream, optionally wrapped in the kernel-attack blend and the
-// onset-delaying phase switch.
+// stream, optionally wrapped in the kernel-attack blend, the
+// onset-delaying phase switch, and — under ChannelAffine — the
+// channel-pinning remap. Pinning wraps outermost so attack traffic is
+// pinned too, and so Capture records the pinned addresses: a captured
+// affine run replays byte-identically without re-pinning.
 func (c *Config) closedGen(policy addrmap.Policy, i int) (trace.Generator, error) {
 	spec := c.Workload
 	if c.WorkloadPerCore != nil {
@@ -66,6 +69,9 @@ func (c *Config) closedGen(policy addrmap.Policy, i int) (trace.Generator, error
 				return nil, err
 			}
 		}
+	}
+	if c.ChannelAffine {
+		gen = &affineGen{gen: gen, policy: policy, ch: i % c.Geometry.Channels}
 	}
 	return gen, nil
 }

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"catsim/internal/dram"
+	"catsim/internal/mitigation"
+	"catsim/internal/trace"
+)
+
+// BenchmarkShard measures the sharded engine against the sequential
+// reference on the 8-channel DDR5 geometry (8 affine cores, one per
+// channel, DRCAT). shards=1 runs the partitioned engine on one worker —
+// its delta vs seq is the partitioning overhead; shards=8 is the
+// headline scaling number. The results are byte-identical across all
+// three (locked by TestShardCountAndGOMAXPROCSInvariant), so the ratio
+// seq/shards=8 is a pure wall-clock speedup: expect ~parity on a single
+// hardware core and approaching the channel count on >=8 cores.
+func BenchmarkShard(b *testing.B) {
+	wl, err := trace.Lookup("black")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := Config{
+		Geometry:        dram.DDR5_8Channel(),
+		Cores:           8,
+		RequestsPerCore: 20_000,
+		Workload:        wl,
+		Scheme:          SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+		Threshold:       1024,
+		EpochNS:         50_000,
+		Seed:            11,
+		ChannelAffine:   true,
+	}
+	for _, shards := range []int{0, 1, 8} {
+		name := fmt.Sprintf("shards=%d", shards)
+		if shards == 0 {
+			name = "seq"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := base
+			cfg.Shards = shards
+			requests := int64(cfg.Cores * cfg.RequestsPerCore)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*requests), "ns/request")
+		})
+	}
+}

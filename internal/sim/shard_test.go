@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"catsim/internal/dram"
+	"catsim/internal/mitigation"
+	"catsim/internal/trace"
+)
+
+// shardConfig builds a run that exercises the partitioned path hard:
+// 4 channels, 8 affine cores (two per channel), epochs on, oracle on,
+// and a threshold low enough that every scheme issues victim refreshes.
+func shardConfig(t *testing.T, kind mitigation.Kind) Config {
+	t.Helper()
+	wl, err := trace.Lookup("black")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SchemeSpec{Kind: kind}
+	switch kind {
+	case mitigation.KindNone:
+	case mitigation.KindPRA:
+		// Default p for the threshold.
+	case mitigation.KindPRCAT, mitigation.KindDRCAT:
+		spec.Counters, spec.MaxLevels = 64, 11
+	default:
+		spec.Counters = 64
+	}
+	return Config{
+		Geometry:        dram.Default4Channel(),
+		Cores:           8,
+		RequestsPerCore: 2000,
+		Workload:        wl,
+		Scheme:          spec,
+		Threshold:       64,
+		EpochNS:         20_000,
+		Seed:            11,
+		CheckProtection: true,
+		ChannelAffine:   true,
+	}
+}
+
+// TestShardedMatchesSequentialAllKinds is the sim-level tentpole
+// contract: for every registered scheme kind, Shards>=1 returns the
+// byte-identical Result of the sequential engine on the same
+// channel-affine streams — via the partitioned engine for shard-safe
+// schemes, via the documented sequential fallback for the rest (PRA,
+// DSAC, ABACuS), which this test also locks in place.
+func TestShardedMatchesSequentialAllKinds(t *testing.T) {
+	for _, kind := range mitigation.Kinds() {
+		seq := shardConfig(t, kind)
+		want, err := Run(seq)
+		if err != nil {
+			t.Fatalf("%v sequential: %v", kind, err)
+		}
+		sh := seq
+		sh.Shards = 4
+		if sh.sharded() != mitigation.ShardSafe(kind) {
+			t.Errorf("%v: sharded() = %t, want the shard-safety registry's %t",
+				kind, sh.sharded(), mitigation.ShardSafe(kind))
+		}
+		got, err := Run(sh)
+		if err != nil {
+			t.Fatalf("%v sharded: %v", kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: sharded result diverges from sequential\n got: %+v\nwant: %+v", kind, got, want)
+		}
+	}
+}
+
+// TestShardCountAndGOMAXPROCSInvariant locks the other determinism axis:
+// on an 8-channel DDR5 geometry, shards=1, shards=3, shards=8 and
+// shards=8-at-GOMAXPROCS(1) all marshal to the identical JSON bytes.
+func TestShardCountAndGOMAXPROCSInvariant(t *testing.T) {
+	base := shardConfig(t, mitigation.KindDRCAT)
+	base.Geometry = dram.DDR5_8Channel()
+	base.Cores = 8
+	base.RequestsPerCore = 1000
+	// The oracle tracks every row of all 512 DDR5 banks per partition;
+	// protection equivalence is already covered on the 4-channel geometry.
+	base.CheckProtection = false
+	run := func(shards int) []byte {
+		cfg := base
+		cfg.Shards = shards
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	ref := run(1)
+	for _, shards := range []int{3, 8} {
+		if got := run(shards); string(got) != string(ref) {
+			t.Errorf("shards=%d: JSON diverges from shards=1", shards)
+		}
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	if got := run(8); string(got) != string(ref) {
+		t.Error("GOMAXPROCS(1): JSON diverges")
+	}
+}
+
+// TestShardedValidation covers the sharded knobs' error paths.
+func TestShardedValidation(t *testing.T) {
+	cfg := shardConfig(t, mitigation.KindDRCAT)
+	cfg.Shards = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	cfg = shardConfig(t, mitigation.KindDRCAT)
+	cfg.ChannelAffine = false
+	cfg.Shards = 4
+	if _, err := Run(cfg); err == nil {
+		t.Error("sharded run without channel-affine streams accepted")
+	}
+	cfg = shardConfig(t, mitigation.KindDRCAT)
+	cfg.Cores = 0
+	cfg.RequestsPerCore = 0
+	cfg.Replay = &trace.Container{Geometry: cfg.Geometry}
+	if _, err := Run(cfg); err == nil {
+		t.Error("ChannelAffine replay accepted")
+	}
+}
+
+// TestAffineCaptureReplaysIdentically: a capture of a channel-affine run
+// records the pinned addresses, so its replay (which cannot re-pin)
+// reproduces the affine run's result bit for bit.
+func TestAffineCaptureReplaysIdentically(t *testing.T) {
+	cfg := shardConfig(t, mitigation.KindDRCAT)
+	cfg.Cores = 4
+	cfg.RequestsPerCore = 1500
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := Capture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := cfg
+	replay.Cores, replay.RequestsPerCore = 0, 0
+	replay.ChannelAffine = false
+	replay.Replay = cont
+	got, err := Run(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("replayed affine capture diverges from the live run")
+	}
+}
+
+// TestAffinePartitionsTraffic sanity-checks the pinning itself: with one
+// core per channel, each core's activations land only in its own
+// channel's banks.
+func TestAffinePartitionsTraffic(t *testing.T) {
+	cfg := shardConfig(t, mitigation.KindNone)
+	cfg.CheckProtection = false
+	cfg.Cores = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banksPerCh := cfg.Geometry.RanksPerCh * cfg.Geometry.BanksPerRk
+	perCh := make([]int64, cfg.Geometry.Channels)
+	for flat, n := range res.PerBankActs {
+		perCh[flat/banksPerCh] += n
+	}
+	for ch, n := range perCh {
+		if n != int64(cfg.RequestsPerCore) {
+			t.Errorf("channel %d saw %d activations, want exactly one core's %d", ch, n, cfg.RequestsPerCore)
+		}
+	}
+}

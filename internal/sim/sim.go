@@ -226,6 +226,31 @@ type Config struct {
 	// CheckProtection attaches the crosstalk oracle (slower; tests only).
 	CheckProtection bool
 
+	// ChannelAffine pins core i's generated request stream to channel
+	// i%Geometry.Channels: every address is remapped onto that channel with
+	// row, rank, bank and column preserved (addrmap.PinChannel), so each
+	// channel's traffic — and therefore its controller, bus and scheme
+	// state — is owned by one set of cores. Required for sharded runs and
+	// meaningful on its own (an affine sequential run sees the identical
+	// streams, and Capture records them pinned). Incompatible with Replay:
+	// captured streams replay exactly as recorded.
+	ChannelAffine bool
+	// Shards, when >= 1, requests the channel-partitioned engine: one full
+	// engine instance per channel with its own controller and scheme,
+	// executed concurrently and merged deterministically
+	// (engine.RunSharded). The value only bounds the worker goroutines —
+	// the partition granularity is always one channel — so every Shards >=
+	// 1 value produces byte-identical Results at any GOMAXPROCS. Requires
+	// ChannelAffine; Run falls back to the sequential reference engine for
+	// open-loop runs and for schemes that are not shard-safe
+	// (mitigation.ShardSafe). A sharded run equals the sequential one
+	// exactly whenever no auto-refresh interval boundary fires mid-run;
+	// past one, each partition advances its interval clock from its own
+	// channel's traffic — the per-channel-controller view of a real
+	// multi-channel system — while the sequential engine resets every bank
+	// from a single global clock.
+	Shards int
+
 	// Scrambler models row-address remapping inside the DRAM (§VII's
 	// physical-adjacency assumption): the mitigation scheme and the
 	// oracle operate on physical rows, i.e. the controller knows the
@@ -356,6 +381,15 @@ func (c *Config) validate() error {
 		return fmt.Errorf("sim: %d per-core workloads for %d cores",
 			len(c.WorkloadPerCore), c.Cores)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("sim: negative shard count %d", c.Shards)
+	}
+	if c.Shards >= 1 && !c.ChannelAffine {
+		return fmt.Errorf("sim: sharded runs need channel-affine streams (set ChannelAffine / -affine)")
+	}
+	if c.ChannelAffine && c.Replay != nil {
+		return fmt.Errorf("sim: replayed streams replay exactly as captured; ChannelAffine applies to generated streams only")
+	}
 	return c.Geometry.Validate()
 }
 
@@ -370,6 +404,9 @@ func Run(cfg Config) (Result, error) {
 	cfg.fill()
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
+	}
+	if cfg.sharded() {
+		return runSharded(cfg)
 	}
 
 	policy, err := cfg.buildPolicy()
@@ -430,30 +467,9 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	perBank := er.PerBankActs
-	execNS := float64(er.EndCPU) * cpuNS
-
-	counts := scheme.Counts()
-	breakdown, err := energy.Compute(scheme.Kind(), scheme.CountersPerBank(), counts, banks, execNS)
+	res, err := cfg.deriveResult(er, scheme.Counts(), scheme.Kind(), scheme.CountersPerBank(), ctrl.Stats())
 	if err != nil {
 		return Result{}, err
-	}
-	if cfg.ThresholdScale < 1 && thresholdTriggered {
-		// See Config.ThresholdScale: trigger counts match a full interval
-		// while simulated time is scale*interval.
-		breakdown.RefreshMW *= cfg.ThresholdScale
-	}
-	busNS := 1000.0 / float64(cfg.Timing.BusMHz)
-	res := Result{
-		ExecNS:           execNS,
-		Counts:           counts,
-		Breakdown:        breakdown,
-		CMRPO:            breakdown.CMRPO(),
-		AvgReadLatencyNS: ctrl.AvgReadLatencyNS(),
-		VictimBusyFrac:   float64(ctrl.Stats().VictimRefreshBusy) * busNS / (float64(banks) * execNS),
-		PerBankActs:      perBank,
-		SchemeLabel:      cfg.Scheme.Label(cfg.Threshold),
-		Epochs:           er.Samples,
 	}
 	if oracle != nil {
 		res.OracleViolations = oracle.Violations()
@@ -469,6 +485,44 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// deriveResult turns engine output plus end-state aggregates into the
+// reported Result. Both run paths use it: the sequential path hands it one
+// controller's stats and one scheme's counts, the sharded path the sums
+// over its per-channel partitions — the expressions are shared so the two
+// paths agree bit for bit.
+func (c *Config) deriveResult(er engine.Result, counts mitigation.Counts, kind mitigation.Kind,
+	countersPerBank int, stats memctrl.Stats) (Result, error) {
+	cpuNS := 1000.0 / (float64(c.Timing.BusMHz) * float64(c.CPUPerBus))
+	execNS := float64(er.EndCPU) * cpuNS
+	banks := c.Geometry.TotalBanks()
+	breakdown, err := energy.Compute(kind, countersPerBank, counts, banks, execNS)
+	if err != nil {
+		return Result{}, err
+	}
+	thresholdTriggered := kind != mitigation.KindPRA && kind != mitigation.KindNone
+	if c.ThresholdScale < 1 && thresholdTriggered {
+		// See Config.ThresholdScale: trigger counts match a full interval
+		// while simulated time is scale*interval.
+		breakdown.RefreshMW *= c.ThresholdScale
+	}
+	busNS := 1000.0 / float64(c.Timing.BusMHz)
+	avgLat := 0.0
+	if stats.Reads > 0 {
+		avgLat = float64(stats.ReadLatencySum) / float64(stats.Reads) * busNS
+	}
+	return Result{
+		ExecNS:           execNS,
+		Counts:           counts,
+		Breakdown:        breakdown,
+		CMRPO:            breakdown.CMRPO(),
+		AvgReadLatencyNS: avgLat,
+		VictimBusyFrac:   float64(stats.VictimRefreshBusy) * busNS / (float64(banks) * execNS),
+		PerBankActs:      er.PerBankActs,
+		SchemeLabel:      c.Scheme.Label(c.Threshold),
+		Epochs:           er.Samples,
+	}, nil
 }
 
 // PairResult reports a scheme run against its no-mitigation baseline.
