@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race race-shard bench bench-sketch bench-engine bench-shard bench-gate-files bench-diff bench-accept repro golden golden-check replay-check
+.PHONY: all build fmt vet lint test race race-shard bench bench-sketch bench-engine bench-shard bench-server bench-gate-files bench-diff bench-accept repro golden golden-check replay-check serve server-check
 
 all: build fmt vet test
 
@@ -78,6 +78,15 @@ bench-shard:
 	$(GO) test -run='^$$' -bench=BenchmarkShard -benchtime=$(BENCH_SHARD_TIME) -count=$(BENCH_COUNT) -json ./internal/sim > BENCH_shard.json
 	$(GO) run ./cmd/benchdiff -stamp BENCH_shard.json
 
+# Streaming-encoder trajectory: ns/sample and allocs/sample of the
+# server's per-epoch NDJSON/SSE encoders — the cost every attached stream
+# pays per epoch. The allocation *gate* is TestNDJSONEncoderAllocs in
+# `make test`; this trajectory tracks the wall-clock trend.
+BENCH_SERVER_TIME ?= 1x
+bench-server:
+	$(GO) test -run='^$$' -bench=BenchmarkServerStream -benchtime=$(BENCH_SERVER_TIME) -count=$(BENCH_COUNT) -json ./internal/server > BENCH_server.json
+	$(GO) run ./cmd/benchdiff -stamp BENCH_server.json
+
 # Gate-stable regeneration of both trajectories: time-based benchtime so
 # micro- and macro-benchmarks alike get real measurement windows, and
 # -count=3 because benchdiff keeps the per-benchmark minimum across
@@ -85,22 +94,24 @@ bench-shard:
 BENCH_GATE_ENGINE_TIME ?= 200ms
 BENCH_GATE_SKETCH_TIME ?= 50ms
 BENCH_GATE_SHARD_TIME ?= 200ms
+BENCH_GATE_SERVER_TIME ?= 50ms
 bench-gate-files:
 	$(MAKE) bench-engine BENCH_ENGINE_TIME=$(BENCH_GATE_ENGINE_TIME) BENCH_COUNT=3
 	$(MAKE) bench-sketch BENCH_SKETCH_TIME=$(BENCH_GATE_SKETCH_TIME) BENCH_COUNT=3
 	$(MAKE) bench-shard BENCH_SHARD_TIME=$(BENCH_GATE_SHARD_TIME) BENCH_COUNT=3
+	$(MAKE) bench-server BENCH_SERVER_TIME=$(BENCH_GATE_SERVER_TIME) BENCH_COUNT=3
 
 # The bench-regression gate, exactly as the CI job runs it: regenerate the
 # trajectories at gate-stable settings and fail on any >10% ns/op
 # regression (noise floor 50 ns) against the blessed baselines.
 bench-diff: bench-gate-files
-	$(GO) run ./cmd/benchdiff BENCH_engine.json BENCH_sketch.json BENCH_shard.json
+	$(GO) run ./cmd/benchdiff BENCH_engine.json BENCH_sketch.json BENCH_shard.json BENCH_server.json
 
 # Rebless the baselines after an *intentional* perf change; eyeball the
 # diff of bench/baseline/*.json before committing.
 bench-accept: bench-gate-files
 	mkdir -p bench/baseline
-	cp BENCH_engine.json BENCH_sketch.json BENCH_shard.json bench/baseline/
+	cp BENCH_engine.json BENCH_sketch.json BENCH_shard.json BENCH_server.json bench/baseline/
 
 # Full reproduction of the paper's tables and figures at default scale,
 # all cores, shared result cache.
@@ -140,3 +151,47 @@ replay-check:
 	/tmp/catsim-replay $(REPLAY_FLAGS) -trace /tmp/catsim-trace.v1 -json > /tmp/catsim-replay.json
 	diff /tmp/catsim-live.json /tmp/catsim-replay.json
 	/tmp/catsim-replay $(REPLAY_FLAGS) -trace /tmp/catsim-trace.v1 -scheme sca:counters=128 > /dev/null
+
+# Run the simulation service locally (ctrl-C drains and snapshots).
+SERVE_FLAGS ?= -addr 127.0.0.1:8321 -snapshot /tmp/catsim-server.snap
+serve:
+	$(GO) run ./cmd/catsim-server $(SERVE_FLAGS)
+
+# End-to-end smoke of the simulation service, exactly as the CI job runs
+# it: boot the server, submit a job describing the replay-check
+# configuration, and require (1) the served result to match a direct
+# cmd/replay run of the same parameters (jq -S canonicalises the
+# indentation difference), (2) a repeat POST to be a cache hit with zero
+# new engine runs, (3) the stream to terminate with that same result, and
+# (4) a restart from the snapshot to re-serve the stream byte-identically
+# without recomputation. The Go test suites lock the byte-level contracts
+# under -race; this target proves the shipped binary wires them together.
+SERVER_CHECK_ADDR = 127.0.0.1:18321
+SERVER_CHECK_JOB = {"scheme":"drcat:counters=64,levels=11","workload":"ol-bursty","requests":4000,"attacker":0.25,"threshold":1600,"seed":7}
+server-check:
+	$(GO) build -o /tmp/catsim-server ./cmd/catsim-server
+	$(GO) build -o /tmp/catsim-replay ./cmd/replay
+	rm -f /tmp/catsim-server.snap /tmp/catsim-server.log
+	set -e; \
+	/tmp/catsim-server -addr $(SERVER_CHECK_ADDR) -workers 1 -snapshot /tmp/catsim-server.snap > /tmp/catsim-server.log 2>&1 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do curl -fs http://$(SERVER_CHECK_ADDR)/healthz > /dev/null 2>&1 && break; sleep 0.1; done; \
+	curl -fs -X POST -H 'Content-Type: application/json' -d '$(SERVER_CHECK_JOB)' http://$(SERVER_CHECK_ADDR)/v1/jobs > /tmp/catsim-server-post.json; \
+	id=$$(jq -r .id /tmp/catsim-server-post.json); \
+	curl -fs http://$(SERVER_CHECK_ADDR)/v1/jobs/$$id/result | jq -S . > /tmp/catsim-server-result.json; \
+	/tmp/catsim-replay $(REPLAY_FLAGS) -json | jq -S . > /tmp/catsim-server-direct.json; \
+	diff /tmp/catsim-server-direct.json /tmp/catsim-server-result.json; \
+	curl -fs -X POST -H 'Content-Type: application/json' -d '$(SERVER_CHECK_JOB)' http://$(SERVER_CHECK_ADDR)/v1/jobs | jq -e '.cached == true' > /dev/null; \
+	curl -fs http://$(SERVER_CHECK_ADDR)/v1/stats | jq -e '.engine_runs == 1' > /dev/null; \
+	curl -fs http://$(SERVER_CHECK_ADDR)/v1/jobs/$$id/stream > /tmp/catsim-server-stream1.ndjson; \
+	tail -n 1 /tmp/catsim-server-stream1.ndjson | jq -S .result > /tmp/catsim-server-streamres.json; \
+	diff /tmp/catsim-server-direct.json /tmp/catsim-server-streamres.json; \
+	kill -TERM $$pid; wait $$pid; \
+	/tmp/catsim-server -addr $(SERVER_CHECK_ADDR) -workers 1 -snapshot /tmp/catsim-server.snap >> /tmp/catsim-server.log 2>&1 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do curl -fs http://$(SERVER_CHECK_ADDR)/healthz > /dev/null 2>&1 && break; sleep 0.1; done; \
+	curl -fs http://$(SERVER_CHECK_ADDR)/v1/jobs/$$id/stream > /tmp/catsim-server-stream2.ndjson; \
+	diff /tmp/catsim-server-stream1.ndjson /tmp/catsim-server-stream2.ndjson; \
+	curl -fs http://$(SERVER_CHECK_ADDR)/v1/stats | jq -e '.engine_runs == 0' > /dev/null; \
+	kill -TERM $$pid; wait $$pid; trap - EXIT; \
+	echo "server-check: OK"

@@ -42,6 +42,7 @@ import (
 	"catsim/internal/mitigation"
 	"catsim/internal/rng"
 	"catsim/internal/runner"
+	"catsim/internal/server"
 	"catsim/internal/sim"
 	"catsim/internal/trace"
 	"catsim/internal/workload"
@@ -242,6 +243,24 @@ func WriteTrace(w io.Writer, c *TraceContainer) error { return trace.WriteContai
 
 // ReadTrace parses a v1 trace file, verifying version and checksum.
 func ReadTrace(r io.Reader) (*TraceContainer, error) { return trace.ReadContainer(r) }
+
+// Server is the long-running simulation service: a bounded job queue over
+// the deterministic simulator with per-epoch NDJSON/SSE streaming, a
+// cross-request cache keyed by canonical CacheKey, and snapshot/resume
+// durability. See cmd/catsim-server for the CLI front end.
+type Server = server.Server
+
+// ServerOptions configures a Server (workers, queue depth, snapshot path
+// and cadence).
+type ServerOptions = server.Options
+
+// JobRequest is the POST /v1/jobs body: a declarative simulation job
+// reusing the scheme/geometry/workload spec grammars.
+type JobRequest = server.JobRequest
+
+// NewServer builds a simulation service, restoring state from
+// ServerOptions.SnapshotPath if the snapshot exists.
+func NewServer(o ServerOptions) (*Server, error) { return server.New(o) }
 
 // ExperimentOptions configures the figure/table generators.
 type ExperimentOptions = experiments.Options

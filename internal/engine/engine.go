@@ -101,6 +101,14 @@ type Config struct {
 	// sampling). Sampling is observation only: any epoch length yields an
 	// identical end state.
 	EpochCPU int64
+	// OnSample, when non-nil, is invoked synchronously with each epoch
+	// sample the moment it is flushed — the trailing partial epoch
+	// included — so callers can stream epochs out as the run progresses
+	// instead of reading Result.Samples post-hoc. The callback sees the
+	// exact Sample values appended to Result.Samples, in the same order,
+	// and must not block for long: it runs on the simulation goroutine.
+	// Pure observation; it cannot perturb the run.
+	OnSample func(Sample)
 	// CPUCycleNS and BusCycleNS convert cycle counts into the nanosecond
 	// timestamps and latencies reported in Samples.
 	CPUCycleNS float64
@@ -323,6 +331,9 @@ func (s *sampler) flush(endCPU int64) {
 	s.samples = append(s.samples, out)
 	s.lastCPU = endCPU
 	s.prevCounts, s.prevStats = counts, stats
+	if s.cfg.OnSample != nil {
+		s.cfg.OnSample(out)
+	}
 }
 
 // Run executes the event loop to completion.

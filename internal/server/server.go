@@ -1,0 +1,467 @@
+// Package server is the catsim simulation service: a long-running
+// HTTP/JSON front end over the deterministic simulation stack. POST
+// /v1/jobs accepts a declarative job — scheme spec, geometry spec,
+// workload, epoch slicing, shards, seed — validated through the same
+// Parse* grammars the CLIs use (bad specs are 400s carrying the valid-set
+// listings), enqueues it on a bounded queue drained by a fixed worker
+// pool, and GET /v1/jobs/{id}/stream streams each epoch's engine.Sample
+// as NDJSON (or SSE) while the run progresses, terminating with the final
+// sim.Result.
+//
+// Jobs are interned by canonical sim.CacheKey: a repeated POST of an
+// identical simulation — however differently spelled — returns the same
+// job, attaching to the in-flight run or replaying the recorded stream
+// byte-identically with zero new engine work. The server periodically
+// checkpoints every job to a versioned, checksummed snapshot file, so a
+// restart resumes the queue and re-serves finished results without
+// recomputation (see snapshot.go for the format and contract).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"catsim/internal/sim"
+)
+
+// ErrBadOptions marks a New failure caused by invalid Options — a usage
+// error (cmd/catsim-server exits 2) rather than an environmental one like
+// a corrupt snapshot (exit 1).
+var ErrBadOptions = errors.New("server: bad options")
+
+// Options configures a Server. The zero value serves with GOMAXPROCS
+// workers, a 64-deep queue and no snapshotting.
+type Options struct {
+	// Workers is the number of simulation workers draining the queue
+	// (0 = GOMAXPROCS). Each runs one job at a time to completion.
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker (0 = 64). A POST
+	// arriving with the queue full is rejected with 503, never blocked.
+	QueueDepth int
+	// SnapshotPath, when non-empty, is the snapshot file the server
+	// restores from at construction (if it exists) and checkpoints to
+	// periodically and at Close.
+	SnapshotPath string
+	// SnapshotInterval is the checkpoint period (0 = 30s; meaningful
+	// only with SnapshotPath set).
+	SnapshotInterval time.Duration
+	// Logf, when non-nil, receives one line per lifecycle event
+	// (job accepted, started, finished, snapshot written).
+	Logf func(format string, args ...any)
+}
+
+// Server is the simulation service. Construct with New, attach Handler to
+// an http.Server, call Start to begin draining the queue, and Close to
+// shut down gracefully.
+type Server struct {
+	opts  Options
+	store *store
+	queue chan *Job
+	// resume holds snapshot-restored jobs awaiting re-enqueue at Start.
+	resume []*Job
+
+	mux        *http.ServeMux
+	engineRuns atomic.Int64
+	closing    atomic.Bool
+	quit       chan struct{}
+	wg         sync.WaitGroup
+	startOnce  sync.Once
+	closeOnce  sync.Once
+}
+
+// New builds a Server, restoring state from Options.SnapshotPath if the
+// file exists. A corrupt or incompatible snapshot is a loud error: the
+// operator decides whether to delete it, never the server.
+func New(o Options) (*Server, error) {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return nil, fmt.Errorf("%w: need at least one worker, got %d", ErrBadOptions, o.Workers)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.QueueDepth < 1 {
+		return nil, fmt.Errorf("%w: need a positive queue depth, got %d", ErrBadOptions, o.QueueDepth)
+	}
+	if o.SnapshotInterval == 0 {
+		o.SnapshotInterval = 30 * time.Second
+	}
+	s := &Server{opts: o, store: newStore(), quit: make(chan struct{})}
+	if o.SnapshotPath != "" {
+		if _, err := os.Stat(o.SnapshotPath); err == nil {
+			if err := s.loadSnapshot(o.SnapshotPath); err != nil {
+				return nil, err
+			}
+			s.logf("restored %d jobs from %s (%d re-queued)",
+				len(s.store.jobs()), o.SnapshotPath, len(s.resume))
+		}
+	}
+	// The queue must at least hold every job the snapshot re-enqueues,
+	// or Start would deadlock before the first worker spins up.
+	depth := o.QueueDepth
+	if len(s.resume) > depth {
+		depth = len(s.resume)
+	}
+	s.queue = make(chan *Job, depth)
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Start re-enqueues snapshot-restored jobs and launches the worker pool
+// and the snapshot ticker. Idempotent.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		for _, j := range s.resume {
+			s.queue <- j // capacity reserved in New
+		}
+		s.resume = nil
+		for w := 0; w < s.opts.Workers; w++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+		if s.opts.SnapshotPath != "" {
+			s.wg.Add(1)
+			go s.snapshotLoop()
+		}
+	})
+}
+
+// Close drains the server: stop accepting jobs (503), let each worker
+// finish its in-flight job — so attached streams terminate with their
+// result — wake every blocked stream, and write a final snapshot. Jobs
+// still queued persist as queued and resume on the next start. The
+// context bounds how long Close waits for in-flight jobs.
+func (s *Server) Close(ctx context.Context) error {
+	var err error
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		close(s.quit)
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		// Wake streams blocked on jobs that will now never run.
+		for _, j := range s.store.jobs() {
+			j.wake()
+		}
+		if s.opts.SnapshotPath != "" {
+			if serr := s.SaveSnapshot(s.opts.SnapshotPath); serr != nil && err == nil {
+				err = serr
+			} else if serr == nil {
+				s.logf("final snapshot written to %s", s.opts.SnapshotPath)
+			}
+		}
+	})
+	return err
+}
+
+// EngineRuns reports how many simulations the server has started — the
+// observable the cache-hit tests (and /v1/stats) assert on: a repeated
+// POST of an identical job must not move it.
+func (s *Server) EngineRuns() int64 { return s.engineRuns.Load() }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Drain-free shutdown: quit wins over further queued work, which
+		// stays queued and persists in the final snapshot.
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one simulation, streaming each epoch sample into the
+// job as it completes.
+func (s *Server) runJob(j *Job) {
+	j.setRunning()
+	s.logf("job %s running: %s", j.ID, j.Key)
+	cfg := j.cfg
+	cfg.OnSample = j.appendSample
+	s.engineRuns.Add(1)
+	res, err := sim.Run(cfg)
+	if err != nil {
+		s.logf("job %s failed: %v", j.ID, err)
+		j.fail(err.Error())
+		return
+	}
+	s.logf("job %s done: %d epochs", j.ID, len(res.Epochs))
+	j.finish(res)
+}
+
+func (s *Server) snapshotLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			if err := s.SaveSnapshot(s.opts.SnapshotPath); err != nil {
+				s.logf("snapshot failed: %v", err)
+			} else {
+				s.logf("snapshot written to %s", s.opts.SnapshotPath)
+			}
+		}
+	}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// httpError writes a JSON error body: {"error": "..."}.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// jobStatus is the submission/status response body.
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Cached is true on submission when the POST attached to an existing
+	// job instead of enqueueing a new run.
+	Cached bool `json:"cached,omitempty"`
+	// Samples is how many epoch samples have streamed so far.
+	Samples int `json:"samples"`
+	// Key is the canonical sim.CacheKey the job is interned under.
+	Key    string `json:"key"`
+	Stream string `json:"stream"`
+	Result string `json:"result"`
+	Error  string `json:"error,omitempty"`
+}
+
+func statusOf(j *Job, cached bool) jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatus{
+		ID: j.ID, State: j.state.String(), Cached: cached,
+		Samples: len(j.samples), Key: j.Key,
+		Stream: "/v1/jobs/" + j.ID + "/stream",
+		Result: "/v1/jobs/" + j.ID + "/result",
+		Error:  j.errMsg,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, inserted := s.store.intern(newJob(req, cfg))
+	if !inserted {
+		// Cross-request cache hit: attach to the existing job (in flight
+		// or finished) — no new engine work.
+		writeJSON(w, http.StatusOK, statusOf(j, true))
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.logf("job %s queued: %s", j.ID, j.Key)
+		writeJSON(w, http.StatusAccepted, statusOf(j, false))
+	default:
+		s.store.remove(j)
+		httpError(w, http.StatusServiceUnavailable, "job queue full (%d deep): retry later", cap(s.queue))
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.jobs()
+	out := make([]jobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, statusOf(j, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, statusOf(j, false))
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"jobs":        int64(len(s.store.jobs())),
+		"engine_runs": s.EngineRuns(),
+		"queued":      int64(len(s.queue)),
+	})
+}
+
+// handleStream serves the live (or replayed) epoch feed. NDJSON by
+// default; SSE when the client accepts text/event-stream. The stream
+// terminates with the final result (or error) line; a client that
+// disconnects early just stops receiving — the simulation is unaffected.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	var enc streamEncoder
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		w.Header().Set("Content-Type", "text/event-stream")
+		enc = newSSEEncoder(w)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc = newNDJSONEncoder(w)
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush()
+
+	ctx := r.Context()
+	// cond.Wait cannot watch a context, so a watcher goroutine turns
+	// client disconnection into a broadcast; it exits when the handler
+	// returns (the request context is cancelled then).
+	go func() {
+		<-ctx.Done()
+		j.wake()
+	}()
+
+	next := 0
+	for {
+		j.mu.Lock()
+		for next >= len(j.samples) && !j.state.terminal() &&
+			ctx.Err() == nil && !s.closing.Load() {
+			j.cond.Wait()
+		}
+		view := j.samples[:len(j.samples)]
+		state := j.state
+		res := j.result
+		errMsg := j.errMsg
+		j.mu.Unlock()
+
+		for next < len(view) {
+			if err := enc.sample(&view[next]); err != nil {
+				return
+			}
+			next++
+			flush()
+		}
+		switch {
+		case ctx.Err() != nil:
+			return
+		case state == StateDone:
+			enc.result(&res)
+			flush()
+			return
+		case state == StateFailed:
+			enc.fail(errMsg)
+			flush()
+			return
+		case s.closing.Load():
+			enc.fail("server shutting down before the job ran")
+			flush()
+			return
+		}
+	}
+}
+
+// handleResult blocks until the job reaches a terminal state, then
+// returns the final sim.Result as JSON (or 500 with the job's error).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	ctx := r.Context()
+	go func() {
+		<-ctx.Done()
+		j.wake()
+	}()
+	j.mu.Lock()
+	for !j.state.terminal() && ctx.Err() == nil && !s.closing.Load() {
+		j.cond.Wait()
+	}
+	state := j.state
+	res := j.result
+	errMsg := j.errMsg
+	j.mu.Unlock()
+	switch {
+	case state == StateDone:
+		writeJSON(w, http.StatusOK, res)
+	case state == StateFailed:
+		httpError(w, http.StatusInternalServerError, "%s", errMsg)
+	default:
+		httpError(w, http.StatusServiceUnavailable, "server shutting down before the job ran")
+	}
+}

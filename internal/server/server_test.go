@@ -1,0 +1,474 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"catsim/internal/engine"
+	"catsim/internal/sim"
+)
+
+// testJob is the canonical small job the lifecycle tests submit: epochs
+// on, small enough to finish fast, big enough to produce several samples.
+func testJob() JobRequest {
+	return JobRequest{
+		Scheme:   "drcat:counters=64,levels=11",
+		Workload: "black",
+		Cores:    2,
+		Requests: 2000,
+		Scale:    0.01,
+		Seed:     7,
+		Epochs:   8,
+	}
+}
+
+// newTestServer builds, starts and tears down a server around its
+// httptest front end.
+func newTestServer(t *testing.T, o Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// submit POSTs a job and decodes the submission response.
+func submit(t *testing.T, ts *httptest.Server, req JobRequest, wantCode int) jobStatus {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST /v1/jobs = %d, want %d (body: %s)", resp.StatusCode, wantCode, raw)
+	}
+	var st jobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("decoding submission response %q: %v", raw, err)
+	}
+	return st
+}
+
+// streamBody fetches a job's full NDJSON stream to completion.
+func streamBody(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET stream = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q, want application/x-ndjson", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// parseStream decodes an NDJSON stream into its samples and final line.
+func parseStream(t *testing.T, body []byte) (samples []engine.Sample, result *sim.Result, errMsg string) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(nil, 1<<20)
+	for sc.Scan() {
+		var line struct {
+			Sample *engine.Sample  `json:"sample"`
+			Result json.RawMessage `json:"result"`
+			Error  string          `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Sample != nil:
+			if result != nil || errMsg != "" {
+				t.Fatal("sample after the terminal line")
+			}
+			samples = append(samples, *line.Sample)
+		case line.Result != nil:
+			result = &sim.Result{}
+			if err := json.Unmarshal(line.Result, result); err != nil {
+				t.Fatal(err)
+			}
+		case line.Error != "":
+			errMsg = line.Error
+		default:
+			t.Fatalf("empty stream line %q", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, result, errMsg
+}
+
+// TestJobLifecycle is the tentpole contract: POST → stream → result, with
+// the streamed samples and final result byte-identical to a direct
+// sim.Run of the same config.
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	req := testJob()
+	st := submit(t, ts, req, http.StatusAccepted)
+	if st.State != "queued" || st.Cached {
+		t.Errorf("fresh submission = %+v, want queued/uncached", st)
+	}
+
+	samples, result, errMsg := parseStream(t, streamBody(t, ts, st.ID))
+	if errMsg != "" {
+		t.Fatalf("stream failed: %s", errMsg)
+	}
+	if result == nil {
+		t.Fatal("stream ended without a result line")
+	}
+	if len(samples) == 0 {
+		t.Fatal("stream carried no epoch samples")
+	}
+
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(*result)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("streamed result diverges from direct sim.Run:\n got: %s\nwant: %s", gotJSON, wantJSON)
+	}
+	sJSON, _ := json.Marshal(samples)
+	eJSON, _ := json.Marshal(want.Epochs)
+	if !bytes.Equal(sJSON, eJSON) {
+		t.Errorf("streamed samples diverge from Result.Epochs (%d vs %d)", len(samples), len(want.Epochs))
+	}
+
+	// Status endpoint agrees once done.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "done" || got.Samples != len(samples) {
+		t.Errorf("status after completion = %+v", got)
+	}
+}
+
+// TestRepeatPostServedFromCache: an identical job POSTed twice — even
+// spelled with explicit defaults — streams byte-identical NDJSON with the
+// second served from the sim.CacheKey-interned job: zero new engine runs.
+func TestRepeatPostServedFromCache(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	st1 := submit(t, ts, testJob(), http.StatusAccepted)
+	first := streamBody(t, ts, st1.ID)
+
+	if runs := s.EngineRuns(); runs != 1 {
+		t.Fatalf("engine runs after first job = %d, want 1", runs)
+	}
+	respelled := testJob()
+	respelled.Threshold = 32768 // the default, spelled out
+	respelled.Seed = 7
+	st2 := submit(t, ts, respelled, http.StatusOK)
+	if !st2.Cached || st2.ID != st1.ID {
+		t.Fatalf("second POST = %+v, want cached attach to %s", st2, st1.ID)
+	}
+	second := streamBody(t, ts, st2.ID)
+	if !bytes.Equal(first, second) {
+		t.Error("replayed stream is not byte-identical to the live stream")
+	}
+	if runs := s.EngineRuns(); runs != 1 {
+		t.Errorf("engine runs after repeat POST = %d, want 1 (no new work)", runs)
+	}
+}
+
+// TestConcurrentStreamsWhileRunning: a stream attached before the run
+// finishes sees the same bytes as one attached after.
+func TestConcurrentStreamsWhileRunning(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	req := testJob()
+	req.Requests = 4000
+	st := submit(t, ts, req, http.StatusAccepted)
+	type streamOut struct{ body []byte }
+	live := make(chan streamOut)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream")
+		if err != nil {
+			live <- streamOut{}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		live <- streamOut{body: b}
+	}()
+	after := streamBody(t, ts, st.ID) // blocks until done
+	liveOut := <-live
+	if liveOut.body == nil {
+		t.Fatal("live stream failed")
+	}
+	if !bytes.Equal(liveOut.body, after) {
+		t.Error("live stream diverges from post-hoc replay")
+	}
+}
+
+// TestResultEndpoint: /result blocks until done and returns the bare
+// sim.Result JSON.
+func TestResultEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	st := submit(t, ts, testJob(), http.StatusAccepted)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result = %d", resp.StatusCode)
+	}
+	var res sim.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Activations == 0 {
+		t.Error("result carries no activations")
+	}
+}
+
+// TestSSEFraming: the same stream framed as server-sent events.
+func TestSSEFraming(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	st := submit(t, ts, testJob(), http.StatusAccepted)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+st.ID+"/stream", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "event: sample\ndata: {") {
+		t.Error("missing sample events")
+	}
+	if !strings.HasSuffix(strings.TrimRight(text, "\n"), "}") || !strings.Contains(text, "event: result\ndata: {") {
+		t.Error("missing terminal result event")
+	}
+	// The SSE result payload equals the NDJSON result payload.
+	ndSamples, ndResult, _ := parseStream(t, streamBody(t, ts, st.ID))
+	wantResult, _ := json.Marshal(ndResult)
+	if !strings.Contains(text, "event: result\ndata: "+string(wantResult)+"\n\n") {
+		t.Error("SSE result payload diverges from NDJSON result payload")
+	}
+	if wantFirst, _ := json.Marshal(ndSamples[0]); !strings.Contains(text, "data: "+string(wantFirst)+"\n\n") {
+		t.Error("SSE sample payload diverges from NDJSON sample payload")
+	}
+}
+
+// TestMalformedRequests is the 400-table satellite: every Parse* grammar
+// error surfaces as a 400 whose body carries the valid-set listing the
+// CLIs print on exit 2.
+func TestMalformedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the error body
+	}{
+		{"not json", `{`, "bad request body"},
+		{"unknown field", `{"scheme":"sca:counters=16","workload":"black","bogus":1}`, "bogus"},
+		{"missing workload", `{"scheme":"sca:counters=16"}`, "missing workload"},
+		{"missing scheme", `{"workload":"black"}`, "missing scheme"},
+		{"unknown scheme kind", `{"scheme":"bogus:counters=1","workload":"black"}`, "unknown scheme kind"},
+		{"scheme kind listing", `{"scheme":"bogus:counters=1","workload":"black"}`, "valid:"},
+		{"bad scheme param", `{"scheme":"sca:bogus=1","workload":"black"}`, `unknown param "bogus"`},
+		{"bad param value", `{"scheme":"sca:counters=abc","workload":"black"}`, "want number"},
+		{"unknown workload", `{"scheme":"sca:counters=16","workload":"nope"}`, `unknown workload "nope"`},
+		{"workload listing", `{"scheme":"sca:counters=16","workload":"nope"}`, "ol-poisson"},
+		{"unknown geometry", `{"scheme":"sca:counters=16","workload":"black","geometry":"nope"}`, "unknown preset"},
+		{"bad geometry field", `{"scheme":"sca:counters=16","workload":"black","geometry":"ddr5:bogus=1"}`, `unknown field "bogus"`},
+		{"bad scale", `{"scheme":"sca:counters=16","workload":"black","scale":2}`, "scale 2 out of"},
+		{"threshold underflow", `{"scheme":"sca:counters=16","workload":"black","threshold":10,"scale":0.01}`, "rounds to zero"},
+		{"huge budget", `{"scheme":"sca:counters=16","workload":"black","requests":99999999}`, "out of [1,"},
+		{"epochs conflict", `{"scheme":"sca:counters=16","workload":"black","epochs":4,"epoch_ns":100}`, "mutually exclusive"},
+		{"attacker on closed loop", `{"scheme":"sca:counters=16","workload":"black","attacker":0.5}`, "open-loop"},
+		{"shards without affine", `{"scheme":"sca:counters=16","workload":"black","shards":4}`, "channel-affine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body: %s)", resp.StatusCode, raw)
+			}
+			var envelope struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(raw, &envelope); err != nil {
+				t.Fatalf("400 body %q is not the JSON error envelope: %v", raw, err)
+			}
+			if !strings.Contains(envelope.Error, tc.want) {
+				t.Errorf("error %q missing %q", envelope.Error, tc.want)
+			}
+		})
+	}
+}
+
+// TestUnknownJob404 covers the job-miss paths.
+func TestUnknownJob404(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	for _, path := range []string{"/v1/jobs/jdeadbeef", "/v1/jobs/jdeadbeef/stream", "/v1/jobs/jdeadbeef/result"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestQueueFull503: with no workers started, a bounded queue rejects the
+// overflow POST with 503 — and forgets it, so a retry can succeed.
+func TestQueueFull503(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately not Started: jobs stay queued.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	first := testJob()
+	submit(t, ts, first, http.StatusAccepted)
+	second := testJob()
+	second.Seed = 99
+	body, _ := json.Marshal(second)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow POST = %d, want 503 (body: %s)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "queue full") {
+		t.Errorf("503 body %q should name the full queue", raw)
+	}
+	// The rejected job left no residue: the store only holds the first.
+	if n := len(s.store.jobs()); n != 1 {
+		t.Errorf("store holds %d jobs after rejection, want 1", n)
+	}
+
+	// Start drains the queue; the retry then lands.
+	s.Start()
+	st := submit(t, ts, second, http.StatusAccepted)
+	if _, result, _ := parseStream(t, streamBody(t, ts, st.ID)); result == nil {
+		t.Error("retried job did not complete")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFailedJobStreams: a config that validates but fails at run time
+// surfaces as a failed state and a terminal error line. Scheme
+// construction happens inside sim.Run, not at POST validation, so an SCA
+// counter count that does not divide the rows per bank is accepted at
+// submission and fails in the worker.
+func TestFailedJobStreams(t *testing.T) {
+	req := JobRequest{Scheme: "sca:counters=7", Workload: "black", Requests: 100}
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatalf("config should pass static validation, got %v", err)
+	}
+	if _, err := sim.Run(cfg); err == nil {
+		t.Fatal("config runs fine; the late-failure fixture needs updating")
+	}
+	_, ts := newTestServer(t, Options{Workers: 1})
+	st := submit(t, ts, req, http.StatusAccepted)
+	_, result, errMsg := parseStream(t, streamBody(t, ts, st.ID))
+	if result != nil || errMsg == "" {
+		t.Errorf("failing job streamed result=%v err=%q, want terminal error", result, errMsg)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("result of failed job = %d, want 500", resp.StatusCode)
+	}
+}
+
+// TestShardedJobStreams: a sharded job streams the deterministically
+// merged sample order (the sim-layer contract, end to end over HTTP).
+func TestShardedJobStreams(t *testing.T) {
+	req := testJob()
+	req.Geometry = "4ch"
+	req.Affine = true
+	req.Shards = 4
+	seqReq := testJob()
+	seqReq.Geometry = "4ch"
+	seqReq.Affine = true
+
+	_, ts := newTestServer(t, Options{Workers: 2})
+	shSt := submit(t, ts, req, http.StatusAccepted)
+	seqSt := submit(t, ts, seqReq, http.StatusAccepted)
+	shSamples, shRes, _ := parseStream(t, streamBody(t, ts, shSt.ID))
+	seqSamples, seqRes, _ := parseStream(t, streamBody(t, ts, seqSt.ID))
+	if shRes == nil || seqRes == nil {
+		t.Fatal("jobs did not complete")
+	}
+	a, _ := json.Marshal(shSamples)
+	b, _ := json.Marshal(seqSamples)
+	if !bytes.Equal(a, b) {
+		t.Error("sharded stream order diverges from sequential")
+	}
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"catsim/internal/engine"
+	"catsim/internal/sim"
+)
+
+// The stream wire format. NDJSON (the default) emits one JSON object per
+// line: zero or more {"sample": {...}} lines — one per completed epoch, in
+// epoch order — terminated by exactly one {"result": {...}} (the final
+// sim.Result) or {"error": "..."}. SSE (Accept: text/event-stream) frames
+// the same JSON payloads as "sample" / "result" / "error" events. Both
+// encoders marshal through encoding/json with a fixed field order, so a
+// replayed stream — from the in-memory job, or from a snapshot-restored
+// one — is byte-identical to the live stream it re-serves.
+
+// streamLine is the NDJSON envelope. Exactly one field is set per line.
+type streamLine struct {
+	Sample *engine.Sample `json:"sample,omitempty"`
+	Result *sim.Result    `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// streamEncoder writes one stream in either framing.
+type streamEncoder interface {
+	sample(s *engine.Sample) error
+	result(r *sim.Result) error
+	fail(msg string) error
+}
+
+// ndjsonEncoder writes newline-delimited JSON. json.Encoder appends the
+// newline and reuses its internal buffer, keeping per-sample allocations
+// flat (see BenchmarkServerStreamEncode).
+type ndjsonEncoder struct {
+	enc *json.Encoder
+}
+
+func newNDJSONEncoder(w io.Writer) *ndjsonEncoder {
+	return &ndjsonEncoder{enc: json.NewEncoder(w)}
+}
+
+func (e *ndjsonEncoder) sample(s *engine.Sample) error {
+	return e.enc.Encode(streamLine{Sample: s})
+}
+
+func (e *ndjsonEncoder) result(r *sim.Result) error {
+	return e.enc.Encode(streamLine{Result: r})
+}
+
+func (e *ndjsonEncoder) fail(msg string) error {
+	return e.enc.Encode(streamLine{Error: msg})
+}
+
+// sseEncoder writes server-sent events: "event: <name>" followed by a
+// single "data:" line carrying the same JSON payload NDJSON would.
+type sseEncoder struct {
+	w io.Writer
+}
+
+func newSSEEncoder(w io.Writer) *sseEncoder { return &sseEncoder{w: w} }
+
+func (e *sseEncoder) event(name string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(e.w, "event: %s\ndata: %s\n\n", name, data)
+	return err
+}
+
+func (e *sseEncoder) sample(s *engine.Sample) error { return e.event("sample", s) }
+
+func (e *sseEncoder) result(r *sim.Result) error { return e.event("result", r) }
+
+func (e *sseEncoder) fail(msg string) error {
+	return e.event("error", map[string]string{"error": msg})
+}

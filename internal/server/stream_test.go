@@ -1,0 +1,97 @@
+package server
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"catsim/internal/engine"
+)
+
+// benchSample is a representative epoch sample for encoder benchmarks:
+// every numeric field populated so the JSON is full-width.
+func benchSample() engine.Sample {
+	return engine.Sample{
+		Epoch:             42,
+		EndNS:             2.56e7,
+		Activations:       123456,
+		RefreshEvents:     17,
+		RowsRefreshed:     233,
+		Reads:             98765,
+		Writes:            24691,
+		AvgReadLatencyNS:  87.3125,
+		VictimBusyCycles:  5120,
+		CountersLive:      384,
+		CountersCap:       512,
+		TreeDepth:         11,
+		Reconfigs:         3,
+		MissedVictimRows:  1,
+		ExposedVictimRows: 2,
+	}
+}
+
+// TestNDJSONEncoderAllocs pins the per-sample allocation budget of the
+// hot streaming path. json.Encoder reuses its buffer, so steady-state
+// encoding should stay within a small constant number of allocations.
+func TestNDJSONEncoderAllocs(t *testing.T) {
+	enc := newNDJSONEncoder(io.Discard)
+	s := benchSample()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := enc.sample(&s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Envelope marshal + encoder internals; 8 is generous headroom over
+	// the observed count, but catches an accidental per-sample copy of
+	// the sample or a fresh encoder per line.
+	if allocs > 8 {
+		t.Errorf("ndjson encode = %.1f allocs/sample, want <= 8", allocs)
+	}
+}
+
+// TestSSEEncoderFramesMatchNDJSON: both framings carry the same JSON
+// payload bytes.
+func TestSSEEncoderFramesMatchNDJSON(t *testing.T) {
+	var nd, sse strings.Builder
+	s := benchSample()
+	if err := newNDJSONEncoder(&nd).sample(&s); err != nil {
+		t.Fatal(err)
+	}
+	if err := newSSEEncoder(&sse).sample(&s); err != nil {
+		t.Fatal(err)
+	}
+	ndLine := strings.TrimSuffix(nd.String(), "\n")
+	inner := strings.TrimSuffix(strings.TrimPrefix(ndLine, `{"sample":`), "}")
+	want := "event: sample\ndata: " + inner + "\n\n"
+	if sse.String() != want {
+		t.Errorf("SSE frame:\n got %q\nwant %q", sse.String(), want)
+	}
+}
+
+// BenchmarkServerStreamEncode measures ns/sample of the NDJSON streaming
+// encoder — the per-epoch cost every attached stream pays. Tracked in
+// BENCH_server.json and gated against bench/baseline.
+func BenchmarkServerStreamEncode(b *testing.B) {
+	enc := newNDJSONEncoder(io.Discard)
+	s := benchSample()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.sample(&s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerStreamEncodeSSE is the SSE-framed counterpart.
+func BenchmarkServerStreamEncodeSSE(b *testing.B) {
+	enc := newSSEEncoder(io.Discard)
+	s := benchSample()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.sample(&s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

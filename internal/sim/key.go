@@ -34,6 +34,9 @@ func CacheKey(cfg Config) string {
 	// Epoch sampling never changes the end state, but it fills
 	// Result.Epochs, and cached Results are handed back verbatim — so
 	// epoch-sampled runs must not share entries with unsampled ones.
+	// OnSample is deliberately NOT keyed: it is pure observation, and the
+	// samples it would deliver are exactly the cached Result.Epochs, so
+	// configs differing only in the hook must share one entry.
 	if cfg.EpochNS != 0 {
 		fmt.Fprintf(&b, "|epoch=%g", cfg.EpochNS)
 	}

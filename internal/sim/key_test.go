@@ -113,10 +113,10 @@ func keyContainer(addr int64) *trace.Container {
 
 // TestCacheKeyCoversConfig pins the Config field set. If this fails you
 // added a Config field: teach CacheKey about it (or deliberately exclude
-// it) and update the count here.
+// it, like OnSample) and update the count here.
 func TestCacheKeyCoversConfig(t *testing.T) {
-	if n := reflect.TypeOf(Config{}).NumField(); n != 24 {
-		t.Errorf("Config has %d fields, CacheKey was written against 24", n)
+	if n := reflect.TypeOf(Config{}).NumField(); n != 25 {
+		t.Errorf("Config has %d fields, CacheKey was written against 25", n)
 	}
 }
 

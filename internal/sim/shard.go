@@ -131,6 +131,17 @@ func runSharded(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// Per-partition samples only become the run's samples after the
+	// channel-order merge, so the streaming hook fires here — once, with
+	// the final merged sequence — rather than live per partition. Callers
+	// observe the identical samples in the identical order as a
+	// sequential run (locked by TestOnSampleShardedMatchesSequential);
+	// only the delivery time differs.
+	if cfg.OnSample != nil {
+		for _, s := range er.Samples {
+			cfg.OnSample(s)
+		}
+	}
 
 	var stats memctrl.Stats
 	var counts mitigation.Counts

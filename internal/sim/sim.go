@@ -211,6 +211,18 @@ type Config struct {
 	// identical final Result apart from the Epochs field itself.
 	EpochNS float64
 
+	// OnSample, when non-nil (and EpochNS is positive), receives each
+	// epoch sample as it completes — the streaming hook behind
+	// catsim-server's live NDJSON/SSE feeds. The callback sees exactly
+	// the samples that land in Result.Epochs, in the same order: the
+	// sequential engine calls it live from the simulation goroutine, and
+	// a sharded run delivers the deterministically merged sequence after
+	// the partitions fold (same values, same order — locked by test).
+	// Observation only: it cannot influence the run, and it is excluded
+	// from CacheKey (two configs differing only in OnSample share one
+	// cache entry, whose Result.Epochs carries the identical samples).
+	OnSample func(engine.Sample)
+
 	// ThresholdScale records by how much Threshold was scaled down
 	// relative to the modeled hardware threshold (0 or 1 = unscaled).
 	// Scaling the threshold with a shortened run keeps the *number* of
@@ -393,6 +405,15 @@ func (c *Config) validate() error {
 	return c.Geometry.Validate()
 }
 
+// Validate reports whether cfg describes a runnable simulation, applying
+// the same default-filling and checks Run performs — without running it.
+// Submission-time validators (catsim-server's POST handler) use it to
+// reject bad configs before they occupy a worker.
+func Validate(cfg Config) error {
+	cfg.fill()
+	return cfg.validate()
+}
+
 // Run executes one simulation: it builds the mapping policy, controller,
 // scheme, oracle and per-core request streams from cfg, hands them to the
 // epoch-driven event loop in internal/engine, and derives the energy
@@ -459,6 +480,7 @@ func Run(cfg Config) (Result, error) {
 		CPUCycleNS:      cpuNS,
 		BusCycleNS:      1000.0 / float64(cfg.Timing.BusMHz),
 		Batch:           true,
+		OnSample:        cfg.OnSample,
 	}
 	if cohort != nil {
 		ecfg.Attr = cohort

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"catsim/internal/mitigation"
+)
+
+// TestOnSampleMatchesEpochs: the hook must see exactly the samples that
+// land in Result.Epochs, in order, live from the sequential engine —
+// trailing partial epoch included.
+func TestOnSampleMatchesEpochs(t *testing.T) {
+	cfg := shardConfig(t, mitigation.KindDRCAT)
+	var got []EpochSample
+	cfg.OnSample = func(s EpochSample) { got = append(got, s) }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) == 0 {
+		t.Fatal("config produced no epochs; the test needs a sampled run")
+	}
+	if !reflect.DeepEqual(got, res.Epochs) {
+		t.Errorf("hook delivered %d samples that differ from Result.Epochs (%d)",
+			len(got), len(res.Epochs))
+	}
+}
+
+// TestOnSampleShardedMatchesSequential locks the streaming satellite's
+// ordering contract: a sharded run delivers the hook the exact merged
+// sequence a sequential run delivers — same samples, same order — even
+// though its partitions execute concurrently.
+func TestOnSampleShardedMatchesSequential(t *testing.T) {
+	seq := shardConfig(t, mitigation.KindDRCAT)
+	var seqSamples []EpochSample
+	seq.OnSample = func(s EpochSample) { seqSamples = append(seqSamples, s) }
+	if _, err := Run(seq); err != nil {
+		t.Fatal(err)
+	}
+
+	sh := shardConfig(t, mitigation.KindDRCAT)
+	sh.Shards = 4
+	var shSamples []EpochSample
+	sh.OnSample = func(s EpochSample) { shSamples = append(shSamples, s) }
+	res, err := Run(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sh.sharded() {
+		t.Fatal("config did not take the partitioned path")
+	}
+	if len(seqSamples) == 0 {
+		t.Fatal("sequential run delivered no samples")
+	}
+	if !reflect.DeepEqual(shSamples, seqSamples) {
+		t.Errorf("sharded delivery (%d samples) diverges from sequential (%d)",
+			len(shSamples), len(seqSamples))
+	}
+	if !reflect.DeepEqual(shSamples, res.Epochs) {
+		t.Error("sharded delivery diverges from the merged Result.Epochs")
+	}
+}
+
+// TestCacheKeyIgnoresOnSample: the hook is observation only, so attaching
+// one must not fragment the cache.
+func TestCacheKeyIgnoresOnSample(t *testing.T) {
+	a := keyConfig(t)
+	b := keyConfig(t)
+	b.OnSample = func(EpochSample) {}
+	if CacheKey(a) != CacheKey(b) {
+		t.Error("OnSample must be excluded from CacheKey")
+	}
+}
