@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race race-shard bench bench-sketch bench-engine bench-shard bench-server bench-gate-files bench-diff bench-accept repro golden golden-check replay-check serve server-check
+.PHONY: all build fmt vet lint test race race-shard bench bench-sketch bench-engine bench-shard bench-server bench-sweep bench-gate-files bench-diff bench-accept repro golden golden-check replay-check serve server-check
 
 all: build fmt vet test
 
@@ -87,6 +87,16 @@ bench-server:
 	$(GO) test -run='^$$' -bench=BenchmarkServerStream -benchtime=$(BENCH_SERVER_TIME) -count=$(BENCH_COUNT) -json ./internal/server > BENCH_server.json
 	$(GO) run ./cmd/benchdiff -stamp BENCH_server.json
 
+# Sweep-throughput trajectory: runs/sec and allocs/run of a 256-seed
+# single-cell sweep, fresh component stacks vs a reused run context (the
+# sweep fast path internal/runner pools). Both paths return byte-identical
+# Results; the benchdiff gate holds ns/op AND B/op/allocs-per-op, so a
+# reuse-path change that reintroduces steady-state allocations fails CI.
+BENCH_SWEEP_TIME ?= 1x
+bench-sweep:
+	$(GO) test -run='^$$' -bench=BenchmarkSweep -benchtime=$(BENCH_SWEEP_TIME) -count=$(BENCH_COUNT) -json ./internal/sim > BENCH_sweep.json
+	$(GO) run ./cmd/benchdiff -stamp BENCH_sweep.json
+
 # Gate-stable regeneration of both trajectories: time-based benchtime so
 # micro- and macro-benchmarks alike get real measurement windows, and
 # -count=3 because benchdiff keeps the per-benchmark minimum across
@@ -95,23 +105,29 @@ BENCH_GATE_ENGINE_TIME ?= 200ms
 BENCH_GATE_SKETCH_TIME ?= 50ms
 BENCH_GATE_SHARD_TIME ?= 200ms
 BENCH_GATE_SERVER_TIME ?= 50ms
+BENCH_GATE_SWEEP_TIME ?= 2x
 bench-gate-files:
 	$(MAKE) bench-engine BENCH_ENGINE_TIME=$(BENCH_GATE_ENGINE_TIME) BENCH_COUNT=3
 	$(MAKE) bench-sketch BENCH_SKETCH_TIME=$(BENCH_GATE_SKETCH_TIME) BENCH_COUNT=3
 	$(MAKE) bench-shard BENCH_SHARD_TIME=$(BENCH_GATE_SHARD_TIME) BENCH_COUNT=3
 	$(MAKE) bench-server BENCH_SERVER_TIME=$(BENCH_GATE_SERVER_TIME) BENCH_COUNT=3
+	$(MAKE) bench-sweep BENCH_SWEEP_TIME=$(BENCH_GATE_SWEEP_TIME) BENCH_COUNT=3
 
 # The bench-regression gate, exactly as the CI job runs it: regenerate the
 # trajectories at gate-stable settings and fail on any >10% ns/op
 # regression (noise floor 50 ns) against the blessed baselines.
 bench-diff: bench-gate-files
-	$(GO) run ./cmd/benchdiff BENCH_engine.json BENCH_sketch.json BENCH_shard.json BENCH_server.json
+	$(GO) run ./cmd/benchdiff BENCH_engine.json BENCH_sketch.json BENCH_shard.json BENCH_server.json BENCH_sweep.json
 
 # Rebless the baselines after an *intentional* perf change; eyeball the
-# diff of bench/baseline/*.json before committing.
+# diff of bench/baseline/*.json before committing. The re-stamp keeps
+# every blessed file attributed to the same (current) commit — the per-
+# target stamps ride along from whenever each trajectory last regenerated,
+# which historically left the baselines pointing at a mix of commits.
 bench-accept: bench-gate-files
 	mkdir -p bench/baseline
-	cp BENCH_engine.json BENCH_sketch.json BENCH_shard.json BENCH_server.json bench/baseline/
+	cp BENCH_engine.json BENCH_sketch.json BENCH_shard.json BENCH_server.json BENCH_sweep.json bench/baseline/
+	$(GO) run ./cmd/benchdiff -stamp bench/baseline/BENCH_engine.json bench/baseline/BENCH_sketch.json bench/baseline/BENCH_shard.json bench/baseline/BENCH_server.json bench/baseline/BENCH_sweep.json
 
 # Full reproduction of the paper's tables and figures at default scale,
 # all cores, shared result cache.

@@ -1,19 +1,23 @@
 // Command benchdiff is the bench-regression gate: it compares `go test
 // -json` benchmark streams (the BENCH_*.json trajectory artifacts CI
 // uploads) against the blessed baselines under bench/baseline/ and fails
-// when any benchmark's ns/op regresses beyond the threshold.
+// when any benchmark's ns/op, B/op or allocs/op regresses beyond the
+// threshold.
 //
 // Diff mode (the CI job and `make bench-diff`):
 //
-//	benchdiff [-baseline DIR] [-threshold F] [-floor NS] FILE...
+//	benchdiff [-baseline DIR] [-threshold F] [-floor NS] [-bfloor B] [-allocfloor N] FILE...
 //
-// Every FILE is compared against DIR/<basename>. A benchmark regresses
-// when its current ns/op exceeds baseline×(1+threshold) AND the absolute
-// delta exceeds the floor — the floor keeps sub-noise micro-benchmarks
-// (a few ns of jitter easily tops 10%) from flapping the gate. Benchmarks
-// added since the baseline are reported but never fail; benchmarks that
-// disappeared fail the gate so a baseline can't silently go stale.
-// Rebless intentional changes with `make bench-accept`.
+// Every FILE is compared against DIR/<basename>. A metric regresses when
+// its current value exceeds baseline×(1+threshold) AND the absolute delta
+// exceeds that metric's floor — the floors keep sub-noise benchmarks
+// (a few ns of jitter easily tops 10%, as does one stray allocation on an
+// alloc-free path measured with tiny -benchtime) from flapping the gate.
+// B/op and allocs/op are gated only when both sides report them (-benchmem
+// or b.ReportAllocs). Benchmarks added since the baseline are reported but
+// never fail; benchmarks that disappeared fail the gate so a baseline
+// can't silently go stale. Rebless intentional changes with `make
+// bench-accept`.
 //
 // Stamp mode (`make bench-accept` and the CI upload steps):
 //
@@ -59,21 +63,35 @@ type event struct {
 }
 
 // benchLine matches a benchmark result in test output: name (with the
-// -GOMAXPROCS suffix to strip), iteration count, ns/op. Secondary metrics
-// (ns/request, B/op) ride on the same line but the gate is ns/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// -GOMAXPROCS suffix to strip), iteration count, ns/op. The allocation
+// metrics ride further down the same line when -benchmem/ReportAllocs is
+// on; custom secondary metrics (ns/request) are reported but not gated.
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+	bytesOp   = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsOp  = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
 
-// parseFile extracts benchmark name -> ns/op from a go test -json stream,
-// plus the bench-meta line when present. Duplicate benchmark names (e.g.
-// -count > 1) keep the minimum, the noise-robust summary of repeats.
-func parseFile(path string) (map[string]float64, *meta, error) {
+// bench is one benchmark's parsed metrics. hasMem records whether the
+// line carried allocation metrics at all (B/op and allocs/op always
+// appear together).
+type bench struct {
+	ns, bytes, allocs float64
+	hasMem            bool
+}
+
+// parseFile extracts benchmark name -> metrics from a go test -json
+// stream, plus the bench-meta line when present. Duplicate benchmark
+// names (e.g. -count > 1) keep the per-metric minimum, the noise-robust
+// summary of repeats.
+func parseFile(path string) (map[string]bench, *meta, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.Close()
 
-	results := make(map[string]float64)
+	results := make(map[string]bench)
 	var m *meta
 	// test2json flushes the benchmark name (which go test prints before
 	// running) as its own partial-line event ending in "\t"; the timing
@@ -106,7 +124,8 @@ func parseFile(path string) (map[string]float64, *meta, error) {
 			}
 			full := buf[:nl]
 			buf = buf[nl+1:]
-			sub := benchLine.FindStringSubmatch(strings.TrimSpace(full))
+			trimmed := strings.TrimSpace(full)
+			sub := benchLine.FindStringSubmatch(trimmed)
 			if sub == nil {
 				continue
 			}
@@ -114,9 +133,30 @@ func parseFile(path string) (map[string]float64, *meta, error) {
 			if err != nil {
 				continue
 			}
-			if old, ok := results[sub[1]]; !ok || ns < old {
-				results[sub[1]] = ns
+			cur := bench{ns: ns}
+			if bm := bytesOp.FindStringSubmatch(trimmed); bm != nil {
+				if am := allocsOp.FindStringSubmatch(trimmed); am != nil {
+					cur.bytes, _ = strconv.ParseFloat(bm[1], 64)
+					cur.allocs, _ = strconv.ParseFloat(am[1], 64)
+					cur.hasMem = true
+				}
 			}
+			old, ok := results[sub[1]]
+			if !ok {
+				results[sub[1]] = cur
+				continue
+			}
+			if cur.ns < old.ns {
+				old.ns = cur.ns
+			}
+			if cur.hasMem && (!old.hasMem || cur.bytes < old.bytes) {
+				old.bytes = cur.bytes
+			}
+			if cur.hasMem && (!old.hasMem || cur.allocs < old.allocs) {
+				old.allocs = cur.allocs
+			}
+			old.hasMem = old.hasMem || cur.hasMem
+			results[sub[1]] = old
 		}
 		pending[ev.Package] = buf
 	}
@@ -125,15 +165,28 @@ func parseFile(path string) (map[string]float64, *meta, error) {
 
 // finding is one benchmark's comparison outcome.
 type finding struct {
-	name       string
-	base, cur  float64
-	regression bool
-	missing    bool // present in baseline, absent in current
-	added      bool // present in current, absent in baseline
+	name      string
+	base, cur bench
+	// regression flags per gated metric (ns/op, B/op, allocs/op).
+	regNS, regBytes, regAllocs bool
+	missing                    bool // present in baseline, absent in current
+	added                      bool // present in current, absent in baseline
+}
+
+// floors holds the per-metric absolute noise floors: a relative
+// regression below its metric's floor is jitter, not a failure.
+type floors struct {
+	ns, bytes, allocs float64
+}
+
+// regressed applies the shared gate rule: past the relative threshold AND
+// past the metric's absolute floor.
+func regressed(base, cur, threshold, floor float64) bool {
+	return cur > base*(1+threshold) && cur-base > floor
 }
 
 // diff compares current against baseline under the threshold/floor rule.
-func diff(baseline, current map[string]float64, threshold, floorNS float64) []finding {
+func diff(baseline, current map[string]bench, threshold float64, fl floors) []finding {
 	names := make([]string, 0, len(baseline)+len(current))
 	for n := range baseline {
 		names = append(names, n)
@@ -156,7 +209,11 @@ func diff(baseline, current map[string]float64, threshold, floorNS float64) []fi
 		case !inBase:
 			f.added = true
 		default:
-			f.regression = c > b*(1+threshold) && c-b > floorNS
+			f.regNS = regressed(b.ns, c.ns, threshold, fl.ns)
+			if b.hasMem && c.hasMem {
+				f.regBytes = regressed(b.bytes, c.bytes, threshold, fl.bytes)
+				f.regAllocs = regressed(b.allocs, c.allocs, threshold, fl.allocs)
+			}
 		}
 		out = append(out, f)
 	}
@@ -189,14 +246,24 @@ func report(w *bufio.Writer, file string, findings []finding, baseMeta, curMeta 
 		switch {
 		case f.missing:
 			bad++
-			fmt.Fprintf(w, "   MISSING  %-60s baseline %12.1f ns/op (rebless with make bench-accept if removed intentionally)\n", f.name, f.base)
+			fmt.Fprintf(w, "   MISSING  %-60s baseline %12.1f ns/op (rebless with make bench-accept if removed intentionally)\n", f.name, f.base.ns)
+			continue
 		case f.added:
-			fmt.Fprintf(w, "   new      %-60s %12.1f ns/op\n", f.name, f.cur)
-		case f.regression:
+			fmt.Fprintf(w, "   new      %-60s %12.1f ns/op\n", f.name, f.cur.ns)
+			continue
+		case f.regNS:
 			bad++
-			fmt.Fprintf(w, "   REGRESS  %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n", f.name, f.base, f.cur, 100*(f.cur/f.base-1))
+			fmt.Fprintf(w, "   REGRESS  %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n", f.name, f.base.ns, f.cur.ns, 100*(f.cur.ns/f.base.ns-1))
 		default:
-			fmt.Fprintf(w, "   ok       %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n", f.name, f.base, f.cur, 100*(f.cur/f.base-1))
+			fmt.Fprintf(w, "   ok       %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n", f.name, f.base.ns, f.cur.ns, 100*(f.cur.ns/f.base.ns-1))
+		}
+		if f.regBytes {
+			bad++
+			fmt.Fprintf(w, "   REGRESS  %-60s %12.1f -> %12.1f B/op (%+.1f%%)\n", f.name, f.base.bytes, f.cur.bytes, 100*(f.cur.bytes/f.base.bytes-1))
+		}
+		if f.regAllocs {
+			bad++
+			fmt.Fprintf(w, "   REGRESS  %-60s %12.1f -> %12.1f allocs/op (%+.1f%%)\n", f.name, f.base.allocs, f.cur.allocs, 100*(f.cur.allocs/f.base.allocs-1))
 		}
 	}
 	return bad
@@ -256,8 +323,10 @@ func stamp(paths []string) error {
 func run(args []string, stdout *bufio.Writer) (failures int, err error) {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	baselineDir := fs.String("baseline", "bench/baseline", "directory holding blessed baseline BENCH_*.json files")
-	threshold := fs.Float64("threshold", 0.10, "relative ns/op regression that fails the gate")
+	threshold := fs.Float64("threshold", 0.10, "relative regression (any gated metric) that fails the gate")
 	floor := fs.Float64("floor", 50, "absolute ns/op delta below which a regression is noise, not a failure")
+	bfloor := fs.Float64("bfloor", 64, "absolute B/op delta below which a regression is noise, not a failure")
+	allocfloor := fs.Float64("allocfloor", 2, "absolute allocs/op delta below which a regression is noise, not a failure")
 	doStamp := fs.Bool("stamp", false, "prepend run metadata (commit, CPU, Go version) to the files instead of diffing")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
@@ -279,10 +348,10 @@ func run(args []string, stdout *bufio.Writer) (failures int, err error) {
 		if err != nil {
 			return failures, fmt.Errorf("benchdiff: baseline %s: %w (run make bench-accept to bless one)", basePath, err)
 		}
-		failures += report(stdout, f, diff(base, cur, *threshold, *floor), baseMeta, curMeta)
+		failures += report(stdout, f, diff(base, cur, *threshold, floors{ns: *floor, bytes: *bfloor, allocs: *allocfloor}), baseMeta, curMeta)
 	}
 	if failures > 0 {
-		fmt.Fprintf(stdout, "benchdiff: %d benchmark(s) regressed past %.0f%% — if intentional, rebless with make bench-accept\n",
+		fmt.Fprintf(stdout, "benchdiff: %d metric(s) regressed past %.0f%% — if intentional, rebless with make bench-accept\n",
 			failures, 100**threshold)
 	}
 	return failures, nil

@@ -155,7 +155,7 @@ func TestStampIdempotent(t *testing.T) {
 	if m == nil || m.GoVersion == "" || m.CPU == "" {
 		t.Fatalf("stamp metadata incomplete: %+v", m)
 	}
-	if results["BenchmarkX"] != 100 {
+	if results["BenchmarkX"].ns != 100 {
 		t.Fatalf("stamping corrupted the stream: %v", results)
 	}
 }
@@ -184,7 +184,89 @@ func TestParseRealStreamShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, ok := results["BenchmarkEngineRun/default/64cores"]
-	if !ok || got != 29000000 {
+	if !ok || got.ns != 29000000 {
 		t.Fatalf("parse failed: %v", results)
+	}
+	if !got.hasMem || got.bytes != 1952 || got.allocs != 6 {
+		t.Fatalf("allocation metrics not parsed: %+v", got)
+	}
+}
+
+// memStream fabricates a stream whose lines carry allocation metrics.
+func memStream(results map[string][3]float64) string {
+	var b strings.Builder
+	for name, v := range results {
+		line, _ := json.Marshal(event{
+			Action: "output",
+			Output: fmt.Sprintf("%s-8   \t     100\t  %.1f ns/op\t    %.0f B/op\t      %.0f allocs/op\n",
+				name, v[0], v[1], v[2]),
+		})
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestInjectedAllocRegressionFailsGate: the allocation gate. A benchmark
+// whose ns/op holds steady but whose B/op and allocs/op blow past the
+// threshold and floors must fail the gate — once per regressed metric.
+func TestInjectedAllocRegressionFailsGate(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeBench(t, baseDir, "BENCH_sweep.json", memStream(map[string][3]float64{
+		"BenchmarkSweep/reuse": {2_000_000, 128, 2},
+	}))
+	// Same wall clock, 16x the bytes, 50 extra allocations: exactly the
+	// regression shape a broken context-reuse path produces.
+	cur := writeBench(t, curDir, "BENCH_sweep.json", memStream(map[string][3]float64{
+		"BenchmarkSweep/reuse": {2_000_000, 2048, 52},
+	}))
+	failures, out, err := runCLI(t, "-baseline", baseDir, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 2 {
+		t.Fatalf("want 2 gate failures (B/op + allocs/op), got %d\n%s", failures, out)
+	}
+	if !strings.Contains(out, "B/op") || !strings.Contains(out, "allocs/op") {
+		t.Fatalf("report does not name the regressed metrics:\n%s", out)
+	}
+}
+
+// TestAllocFloorsSuppressNoise: one stray allocation and a few dozen
+// bytes on a near-zero baseline are measurement jitter, not regressions —
+// the absolute floors (64 B/op, 2 allocs/op) absorb them even though the
+// relative blowup is huge.
+func TestAllocFloorsSuppressNoise(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeBench(t, baseDir, "BENCH_sweep.json", memStream(map[string][3]float64{
+		"BenchmarkSweep/reuse": {2_000_000, 16, 1},
+	}))
+	cur := writeBench(t, curDir, "BENCH_sweep.json", memStream(map[string][3]float64{
+		"BenchmarkSweep/reuse": {2_000_000, 64, 3},
+	}))
+	failures, out, err := runCLI(t, "-baseline", baseDir, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("sub-floor allocation drift must not fail the gate:\n%s", out)
+	}
+}
+
+// TestMemGateSkippedWithoutMetrics: a stream without -benchmem metrics
+// diffs cleanly against one that has them — the memory gate only engages
+// when both sides report.
+func TestMemGateSkippedWithoutMetrics(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeBench(t, baseDir, "BENCH_engine.json", stream(map[string]float64{"BenchmarkX": 1000}))
+	cur := writeBench(t, curDir, "BENCH_engine.json", memStream(map[string][3]float64{
+		"BenchmarkX": {1000, 1 << 20, 999},
+	}))
+	failures, out, err := runCLI(t, "-baseline", baseDir, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("memory gate must not engage when the baseline has no metrics:\n%s", out)
 	}
 }

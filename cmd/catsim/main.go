@@ -189,7 +189,7 @@ func main() {
 	// The scheme run and its no-mitigation baseline are independent:
 	// runner.Pair executes them concurrently (identical results to
 	// sim.RunPair at any -parallel).
-	eng := &runner.Engine{Parallel: *parallel}
+	eng := &runner.Engine{Parallel: *parallel, Contexts: runner.NewContextPool()}
 	pair, err := eng.Pair(context.Background(), cfg)
 	fatal(err)
 	r, baseline := pair.Result, pair.Baseline

@@ -110,6 +110,14 @@ func (t *FlatTree) rebuild() {
 	}
 }
 
+// Reset restores the tree to its just-constructed state — the uniform
+// pre-split shape with zeroed counters and zeroed statistics — without
+// allocating. Run contexts use it to reuse trees across repeated runs.
+func (t *FlatTree) Reset() {
+	t.rebuild()
+	t.stats = Stats{}
+}
+
 // buildUniform populates a complete subtree rooted at heap index i with
 // the given number of leaves, appending internal nodes to order in
 // preorder — the allocation order of the pointer implementation.

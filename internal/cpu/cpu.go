@@ -37,6 +37,16 @@ func NewCore(window int) (*Core, error) {
 	return &Core{window: make([]int64, window)}, nil
 }
 
+// Reset rewinds the core to time zero with no outstanding reads, keeping
+// the window slab. Run contexts use it to reuse cores across runs.
+func (c *Core) Reset() {
+	c.Now = 0
+	c.head = 0
+	c.count = 0
+	c.retired = 0
+	c.lastDone = 0
+}
+
 // AdvanceGap spends gap CPU cycles of compute before the next request.
 func (c *Core) AdvanceGap(gap int) {
 	if gap > 0 {

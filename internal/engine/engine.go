@@ -135,6 +135,12 @@ type Config struct {
 	// never silently corrupt another shard's banks.
 	Channels *ChannelRange
 
+	// Scratch, when non-nil, supplies the run's working memory so repeated
+	// runs reuse their slabs (see Scratch). The Result then aliases the
+	// Scratch and is valid only until its next run. Nil keeps the historic
+	// behavior: every run allocates fresh.
+	Scratch *Scratch
+
 	// barrier, when non-nil, paces sharded partitions in lockstep epochs
 	// (set by RunSharded only; see shard.go for the determinism contract).
 	barrier *epochBarrier
@@ -158,23 +164,30 @@ const (
 	SchedLinear
 )
 
-// newScheduler resolves the configured scheduler for n cores.
-func (c *Config) newScheduler(n int) scheduler {
+// schedSel resolves the configured scheduler kind for n cores to a
+// concrete choice (never SchedAuto).
+func (c *Config) schedSel(n int) Sched {
 	sel := c.Sched
 	if c.LinearScan && sel == SchedAuto {
 		sel = SchedLinear
 	}
-	switch sel {
+	if sel == SchedAuto {
+		if n > maxTournamentCores {
+			return SchedHeap
+		}
+		return SchedTournament
+	}
+	return sel
+}
+
+// newScheduler resolves the configured scheduler for n cores.
+func (c *Config) newScheduler(n int) scheduler {
+	switch c.schedSel(n) {
 	case SchedLinear:
 		return newLinearScheduler(n)
 	case SchedHeap:
 		return newHeapScheduler(n)
-	case SchedTournament:
-		return newTournamentScheduler(n)
 	default:
-		if n > maxTournamentCores {
-			return newHeapScheduler(n)
-		}
 		return newTournamentScheduler(n)
 	}
 }
@@ -285,11 +298,14 @@ type sampler struct {
 	prevStats  memctrl.Stats
 }
 
-func newSampler(cfg *Config) *sampler {
+// newSampler arms scr's sampler for this run, reusing the sample backing
+// grown by previous runs through the same Scratch.
+func newSampler(cfg *Config, scr *Scratch) *sampler {
 	if cfg.EpochCPU <= 0 {
 		return nil
 	}
-	s := &sampler{cfg: cfg, nextCPU: cfg.EpochCPU}
+	s := &scr.smp
+	*s = sampler{cfg: cfg, nextCPU: cfg.EpochCPU, samples: scr.samples[:0]}
 	s.snap, _ = cfg.Scheme.(mitigation.Snapshotter)
 	s.prevCounts = cfg.Scheme.Counts()
 	s.prevStats = cfg.Ctrl.Stats()
@@ -338,11 +354,24 @@ func (s *sampler) flush(endCPU int64) {
 
 // Run executes the event loop to completion.
 func Run(cfg Config) (Result, error) {
+	return RunInPlace(&cfg)
+}
+
+// RunInPlace is Run minus the config value copy: the caller retains
+// ownership of cfg, which the engine only reads. Run contexts hold a
+// persistent Config and call this so a repeated run does not re-allocate
+// the escaping copy Run's by-value parameter would.
+func RunInPlace(cfg *Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	perBank := make([]int64, cfg.Geometry.TotalBanks())
-	endCPU, smp, err := runLoop(&cfg, perBank)
+	scr := cfg.Scratch
+	if scr == nil {
+		scr = &Scratch{}
+	}
+	scr.perBank = grow(scr.perBank, cfg.Geometry.TotalBanks())
+	perBank := scr.perBank
+	endCPU, smp, err := runLoop(cfg, scr, perBank)
 	if err != nil {
 		return Result{}, err
 	}
@@ -357,6 +386,7 @@ func Run(cfg Config) (Result, error) {
 			smp.flush(endCPU)
 		}
 		res.Samples = smp.samples
+		scr.samples = smp.samples
 	}
 	return res, nil
 }
@@ -367,12 +397,13 @@ func Run(cfg Config) (Result, error) {
 // differs between the sequential path (Run flushes at its own end) and the
 // sharded path (RunSharded flushes every partition's write queue at the
 // global end, so drain timing matches a single merged run).
-func runLoop(cfg *Config, perBank []int64) (int64, *sampler, error) {
+func runLoop(cfg *Config, scr *Scratch, perBank []int64) (int64, *sampler, error) {
 	nc := len(cfg.Cores)
 	no := len(cfg.Open)
 	n := nc + no
-	sched := cfg.newScheduler(n)
-	left := make([]int, n)
+	sched := scr.scheduler(cfg, n)
+	scr.left = grow(scr.left, n)
+	left := scr.left
 	for i := range cfg.Cores {
 		left[i] = cfg.Cores[i].Requests
 	}
@@ -387,16 +418,17 @@ func runLoop(cfg *Config, perBank []int64) (int64, *sampler, error) {
 	var pendReq []trace.Request
 	var pendAt, schedAt []int64
 	if no > 0 {
-		pendReq = make([]trace.Request, no)
-		pendAt = make([]int64, no)
-		schedAt = make([]int64, no)
+		scr.pendReq = grow(scr.pendReq, no)
+		scr.pendAt = grow(scr.pendAt, no)
+		scr.schedAt = grow(scr.schedAt, no)
+		pendReq, pendAt, schedAt = scr.pendReq, scr.pendAt, scr.schedAt
 		for j := range cfg.Open {
 			pendReq[j], pendAt[j] = cfg.Open[j].Gen.Next()
 		}
 	}
 	var openEnd int64
 	crossBank, hasCrossBank := cfg.Scheme.(mitigation.CrossBank)
-	smp := newSampler(cfg)
+	smp := newSampler(cfg, scr)
 	nextInterval := cfg.IntervalCPU
 	chLo, chHi := 0, cfg.Geometry.Channels
 	if cfg.Channels != nil {

@@ -52,6 +52,19 @@ func newHeapScheduler(n int) *heapScheduler {
 	return h
 }
 
+// reset re-arms the heap for a new run over the same core count without
+// allocating: remove only truncates the heap slice, so its capacity still
+// holds every core, and the all-zero clock state satisfies the heap
+// property in index order exactly as the constructor left it.
+func (h *heapScheduler) reset() {
+	h.heap = h.heap[:len(h.now)]
+	for i := range h.heap {
+		h.now[i] = 0
+		h.heap[i] = int32(i)
+		h.pos[i] = int32(i)
+	}
+}
+
 // less orders core a before core b under the (clock, index) key.
 func (h *heapScheduler) less(a, b int32) bool {
 	return h.now[a] < h.now[b] || (h.now[a] == h.now[b] && a < b)
@@ -147,6 +160,14 @@ func newLinearScheduler(n int) *linearScheduler {
 	return l
 }
 
+// reset re-arms the scan for a new run over the same core count.
+func (l *linearScheduler) reset() {
+	for i := range l.alive {
+		l.now[i] = 0
+		l.alive[i] = true
+	}
+}
+
 func (l *linearScheduler) pick() int {
 	best := -1
 	for i, alive := range l.alive {
@@ -197,6 +218,7 @@ func (l *linearScheduler) bound(i int) (int64, int32) {
 // rather than silently misordering if a run ever gets there.
 type tournamentScheduler struct {
 	p       int     // leaves (next power of two >= cores)
+	n       int     // live cores (leaves n..p-1 are padding)
 	idxBits uint    // log2(p)
 	key     []int64 // leaf keys; retired and padding leaves hold infKey
 	loser   []int64 // loser[1..p-1]: packed loser of each internal match
@@ -218,19 +240,26 @@ func newTournamentScheduler(n int) *tournamentScheduler {
 	}
 	s := &tournamentScheduler{
 		p:       p,
+		n:       n,
 		idxBits: idxBits,
 		key:     make([]int64, p),
 		loser:   make([]int64, p),
 	}
+	s.reset()
+	return s
+}
+
+// reset replays the constructor's initial tournament over the existing
+// leaf and loser arrays, re-arming the tree for a new run.
+func (s *tournamentScheduler) reset() {
 	for i := range s.key {
-		if i < n {
+		if i < s.n {
 			s.key[i] = int64(i) // clock 0, packed
 		} else {
 			s.key[i] = infKey
 		}
 	}
 	s.winner = s.play(1)
-	return s
 }
 
 // play runs the initial tournament below node j, storing losers and

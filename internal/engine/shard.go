@@ -229,8 +229,13 @@ func runPartition(cfg *Config) shardOut {
 	if cfg.barrier != nil {
 		defer cfg.barrier.drop()
 	}
-	out.perBank = make([]int64, cfg.Geometry.TotalBanks())
-	out.endCPU, out.smp, out.err = runLoop(cfg, out.perBank)
+	scr := cfg.Scratch
+	if scr == nil {
+		scr = &Scratch{}
+	}
+	scr.perBank = grow(scr.perBank, cfg.Geometry.TotalBanks())
+	out.perBank = scr.perBank
+	out.endCPU, out.smp, out.err = runLoop(cfg, scr, out.perBank)
 	if out.err != nil {
 		return out
 	}
@@ -239,6 +244,7 @@ func runPartition(cfg *Config) shardOut {
 		if out.endCPU > out.smp.lastCPU || len(out.smp.samples) == 0 {
 			out.smp.flush(out.endCPU)
 		}
+		scr.samples = out.smp.samples
 	}
 	return out
 }

@@ -83,6 +83,11 @@ type Options struct {
 	// and cmd/experiments install a single cache for the whole suite so
 	// e.g. Fig. 9 reuses Fig. 8's paired runs outright.
 	Cache *runner.Cache
+	// Pool recycles run contexts across grid cells so same-shape cells
+	// reuse their component stacks instead of rebuilding them (see
+	// runner.ContextPool). fill() installs one when nil; results are
+	// identical with or without pooling.
+	Pool *runner.ContextPool
 	// Context cancels in-flight grids (nil = context.Background()).
 	Context context.Context
 }
@@ -135,6 +140,9 @@ func (o *Options) fill() error {
 	if o.Cache == nil && !o.NoCache {
 		o.Cache = runner.NewCache()
 	}
+	if o.Pool == nil {
+		o.Pool = runner.NewContextPool()
+	}
 	if o.Context == nil {
 		o.Context = context.Background()
 	}
@@ -143,7 +151,7 @@ func (o *Options) fill() error {
 
 // engine returns the grid executor for these options. Call after fill.
 func (o *Options) engine() *runner.Engine {
-	return &runner.Engine{Parallel: o.Parallel, Cache: o.Cache}
+	return &runner.Engine{Parallel: o.Parallel, Cache: o.Cache, Contexts: o.Pool}
 }
 
 // scaledThreshold scales the refresh threshold with the run, keeping
@@ -237,6 +245,9 @@ func (o *Options) meta() Meta {
 	if o.Cache != nil {
 		m.CacheRuns = len(o.Cache.Runs())
 		m.CacheHits = o.Cache.Hits()
+	}
+	if o.Pool != nil {
+		m.ContextBuilds, m.ContextReuses = o.Pool.Stats()
 	}
 	return m
 }

@@ -52,6 +52,10 @@ type Meta struct {
 	// report was produced (cumulative across the invocation's targets).
 	CacheRuns int   `json:"cache_runs,omitempty"`
 	CacheHits int64 `json:"cache_hits,omitempty"`
+	// ContextBuilds/ContextReuses snapshot the run-context pool: how many
+	// cache misses built a fresh context stack versus rewound a warm one.
+	ContextBuilds int64 `json:"context_builds,omitempty"`
+	ContextReuses int64 `json:"context_reuses,omitempty"`
 }
 
 // Report is one rendered-table's worth of structured results.

@@ -107,6 +107,28 @@ func New(geom dram.Geometry, timing dram.Timing) (*Controller, error) {
 	return c, nil
 }
 
+// Reset restores the controller to its just-built state for the same
+// geometry and timing without allocating: idle banks, free channels,
+// re-staggered rank refresh clocks, empty write queues, the default
+// victim-row cost and zeroed statistics. Run contexts use it to reuse the
+// controller across repeated runs.
+func (c *Controller) Reset() {
+	for i := range c.banks {
+		c.banks[i] = dram.Bank{}
+	}
+	for i := range c.chanFree {
+		c.chanFree[i] = 0
+	}
+	for i := range c.nextRef {
+		c.nextRef[i] = int64(c.timing.TREFI) * int64(i+1) / int64(len(c.nextRef)+1)
+	}
+	for ch := range c.writeQ {
+		c.writeQ[ch] = c.writeQ[ch][:0]
+	}
+	c.rowCycles = c.timing.RowRefreshCycles()
+	c.stats = Stats{}
+}
+
 // SetVictimRowCycles overrides the bank-busy cycles charged per victim-
 // refreshed row. Scaled experiment runs use it to keep refresh-stall
 // fractions representative when the refresh threshold is scaled down with

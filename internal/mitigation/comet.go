@@ -139,6 +139,18 @@ func (c *CoMeT) OnIntervalBoundary() {
 // Counts implements Scheme.
 func (c *CoMeT) Counts() Counts { return c.counts }
 
+// ResetRun implements Resettable: every bank's sketch re-derives its hash
+// seeds from the new run seed — the same (seed, bank) formula the builder
+// uses — and the aggressor tables empty.
+func (c *CoMeT) ResetRun(seed uint64) bool {
+	for b := 0; b < c.banks; b++ {
+		c.cms[b].Reseed(seed + uint64(b)*0x9e3779b9)
+		c.rat[b].Reset()
+	}
+	c.counts = Counts{}
+	return true
+}
+
 // Snapshot implements Snapshotter: occupied recent-aggressor-table
 // entries across banks (the sketch itself is always fully allocated; the
 // RAT population is the behavioural signal).

@@ -147,6 +147,32 @@ func (cc *CounterCache) OnIntervalBoundary() {
 // Counts implements Scheme.
 func (cc *CounterCache) Counts() Counts { return cc.counts }
 
+// ResetRun implements Resettable: empty tags, zeroed counters and LRU
+// state, and a rewound tick are the full just-built state.
+func (cc *CounterCache) ResetRun(uint64) bool {
+	for b := 0; b < cc.banks; b++ {
+		tags := cc.tags[b]
+		for i := range tags {
+			tags[i] = -1
+		}
+		vals := cc.vals[b]
+		for i := range vals {
+			vals[i] = 0
+		}
+		lru := cc.lru[b]
+		for i := range lru {
+			lru[i] = 0
+		}
+		backing := cc.backing[b]
+		for i := range backing {
+			backing[i] = 0
+		}
+	}
+	cc.tick = 0
+	cc.counts = Counts{}
+	return true
+}
+
 // Snapshot implements Snapshotter: valid cache tags across banks.
 func (cc *CounterCache) Snapshot() Snapshot {
 	s := Snapshot{Cap: cc.banks * cc.sets * cc.ways}

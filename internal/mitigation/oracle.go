@@ -98,6 +98,29 @@ func (o *Oracle) RefreshAll() {
 	}
 }
 
+// Reset clears every exposure, ever-flag and counter, returning the
+// oracle to its just-built state so a run context can reuse it across
+// runs over the same geometry and threshold.
+func (o *Oracle) Reset() {
+	for b := range o.exposure {
+		e := o.exposure[b]
+		for v := range e {
+			e[v] = [2]uint32{}
+		}
+		ex := o.exposed[b]
+		for v := range ex {
+			ex[v] = false
+		}
+		ms := o.missed[b]
+		for v := range ms {
+			ms[v] = false
+		}
+	}
+	o.violations = 0
+	o.exposedN = 0
+	o.missedN = 0
+}
+
 // Violations returns the number of violations recorded so far.
 func (o *Oracle) Violations() int64 { return o.violations }
 

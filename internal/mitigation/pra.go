@@ -82,6 +82,19 @@ func (pr *PRA) OnIntervalBoundary() {}
 // Counts implements Scheme.
 func (pr *PRA) Counts() Counts { return pr.counts }
 
+// ResetRun implements Resettable: the PRNG stream rewinds to the state
+// the builder's rng.NewXoshiro256(seed) would produce. An injected source
+// of any other type cannot be re-seeded in place, so reuse is declined.
+func (pr *PRA) ResetRun(seed uint64) bool {
+	x, ok := pr.src.(*rng.Xoshiro256)
+	if !ok {
+		return false
+	}
+	x.Seed(seed)
+	pr.counts = Counts{}
+	return true
+}
+
 // PRAProbabilityForThreshold returns the probability the paper pairs with
 // each refresh threshold so that 5-year unsurvivability stays below the
 // Chipkill reference of 1e-4 (Fig. 12): T=64K -> 0.001, 32K -> 0.002,

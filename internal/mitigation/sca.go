@@ -89,6 +89,14 @@ func (s *SCA) OnIntervalBoundary() {
 // Counts implements Scheme.
 func (s *SCA) Counts() Counts { return s.counts }
 
+// ResetRun implements Resettable: zeroed group counters are the full
+// just-built state (SCA draws no randomness).
+func (s *SCA) ResetRun(uint64) bool {
+	s.OnIntervalBoundary()
+	s.counts = Counts{}
+	return true
+}
+
 // Snapshot implements Snapshotter: nonzero group counters across banks —
 // how much of the static assignment the traffic actually touches.
 func (s *SCA) Snapshot() Snapshot {

@@ -27,6 +27,7 @@ type Stochastic struct {
 	rows      int
 	threshold uint32
 	tables    []*sketch.Stochastic
+	src       rng.Source // the shared stream behind every table
 	counts    Counts
 	scratch   []RefreshRange
 }
@@ -49,6 +50,7 @@ func NewStochastic(banks, rowsPerBank, m int, threshold uint32, src rng.Source) 
 		rows:      rowsPerBank,
 		threshold: threshold,
 		tables:    make([]*sketch.Stochastic, banks),
+		src:       src,
 		scratch:   make([]RefreshRange, 0, 2),
 	}
 	for b := 0; b < banks; b++ {
@@ -94,6 +96,25 @@ func (s *Stochastic) OnIntervalBoundary() {
 
 // Counts implements Scheme.
 func (s *Stochastic) Counts() Counts { return s.counts }
+
+// ResetRun implements Resettable: the shared replacement stream rewinds
+// to the state the builder's rng.NewXoshiro256(seed) would produce and
+// every bank's table empties. An injected source of any other type cannot
+// be re-seeded in place, so reuse is declined. Table draw totals are
+// cumulative, but PRNG-bit accounting is delta-based, so the preserved
+// totals cannot leak between runs.
+func (s *Stochastic) ResetRun(seed uint64) bool {
+	x, ok := s.src.(*rng.Xoshiro256)
+	if !ok {
+		return false
+	}
+	x.Seed(seed)
+	for _, t := range s.tables {
+		t.Reset()
+	}
+	s.counts = Counts{}
+	return true
+}
 
 // Snapshot implements Snapshotter: occupied tracker entries across banks.
 func (s *Stochastic) Snapshot() Snapshot {

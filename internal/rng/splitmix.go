@@ -32,8 +32,16 @@ type Xoshiro256 struct {
 // NewXoshiro256 returns a generator whose state is expanded from seed with
 // SplitMix64, as recommended by the xoshiro authors.
 func NewXoshiro256(seed uint64) *Xoshiro256 {
-	sm := NewSplitMix64(seed)
 	var x Xoshiro256
+	x.Seed(seed)
+	return &x
+}
+
+// Seed re-initialises the generator in place to the exact state
+// NewXoshiro256(seed) would produce, without allocating. Run contexts use
+// it to rewind per-run streams between reused runs.
+func (x *Xoshiro256) Seed(seed uint64) {
+	sm := SplitMix64{state: seed}
 	for i := range x.s {
 		x.s[i] = sm.Uint64()
 	}
@@ -42,7 +50,6 @@ func NewXoshiro256(seed uint64) *Xoshiro256 {
 	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
 		x.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &x
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

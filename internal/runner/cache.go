@@ -36,6 +36,14 @@ func NewCache() *Cache {
 // Run returns the memoized result for cfg, executing sim.Run at most once
 // per canonical key.
 func (c *Cache) Run(cfg sim.Config) (sim.Result, error) {
+	return c.RunWith(cfg, sim.Run)
+}
+
+// RunWith is Run with an injected executor — the hook the runner Engine
+// uses to route cache misses through a pooled run context. run executes
+// at most once per canonical key regardless of which executor the
+// winning caller supplied.
+func (c *Cache) RunWith(cfg sim.Config, run func(sim.Config) (sim.Result, error)) (sim.Result, error) {
 	key := sim.CacheKey(cfg)
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -48,7 +56,7 @@ func (c *Cache) Run(cfg sim.Config) (sim.Result, error) {
 		c.hits.Add(1)
 	}
 	e.once.Do(func() {
-		e.res, e.err = sim.Run(cfg)
+		e.res, e.err = run(cfg)
 	})
 	if e.err != nil {
 		return sim.Result{}, e.err

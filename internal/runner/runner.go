@@ -28,6 +28,12 @@ type Engine struct {
 	// Cache memoizes sim.Run results by canonical config key; nil runs
 	// every cell from scratch.
 	Cache *Cache
+	// Contexts, when non-nil, executes cells on pooled reusable run
+	// contexts (sim.Context) instead of fresh sim.Run stacks, eliminating
+	// per-cell setup allocations across the grid; nil preserves the
+	// historical run-from-scratch behaviour. Results are identical either
+	// way (the context-reuse identity contract).
+	Contexts *ContextPool
 	// OnCell, when non-nil, is called after every cell completes
 	// (successfully or with err set, in which case r is zero), from
 	// whichever worker ran it. Callbacks sharing state must synchronise
@@ -120,13 +126,17 @@ func (e *Engine) Pair(ctx context.Context, cfg sim.Config) (CellResult, error) {
 	return CellResult{Result: res[0], Baseline: res[1], ETO: eto(res[0], res[1])}, nil
 }
 
-// Run executes one simulation through the engine's cache (directly when
-// no cache is configured).
+// Run executes one simulation through the engine's context pool and
+// cache (directly when neither is configured).
 func (e *Engine) Run(cfg sim.Config) (sim.Result, error) {
-	if e.Cache == nil {
-		return sim.Run(cfg)
+	run := sim.Run
+	if e.Contexts != nil {
+		run = e.Contexts.Run
 	}
-	return e.Cache.Run(cfg)
+	if e.Cache == nil {
+		return run(cfg)
+	}
+	return e.Cache.RunWith(cfg, run)
 }
 
 // Map runs fn(0..n-1) on at most `parallel` workers (0 = GOMAXPROCS) and

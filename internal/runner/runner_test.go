@@ -242,3 +242,66 @@ func TestCacheResultsAreIsolated(t *testing.T) {
 		t.Error("mutating one caller's PerBankActs leaked into the cache")
 	}
 }
+
+// TestPooledGridMatchesReference: a grid run on pooled contexts (the
+// sweep fast path) returns the identical results as the uncached,
+// unpooled sequential reference, and the pool observably reuses warm
+// contexts instead of rebuilding per cell.
+func TestPooledGridMatchesReference(t *testing.T) {
+	cells := testCells(t)
+	ref, err := (&Engine{Parallel: 1}).Grid(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 4} {
+		pool := NewContextPool()
+		e := &Engine{Parallel: parallel, Cache: NewCache(), Contexts: pool}
+		got, err := e.Grid(context.Background(), cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("parallel=%d: pooled results differ from the reference", parallel)
+		}
+		builds, reuses := pool.Stats()
+		if builds < 1 {
+			t.Errorf("parallel=%d: pool built %d contexts, want >= 1", parallel, builds)
+		}
+		// 4 paired cells dedup to 6 unique runs through the cache (the two
+		// baselines are shared); sequentially one context serves all of
+		// them, so all but the first are reuses. At higher parallelism each
+		// worker still reuses its own context across cells.
+		if parallel == 1 && reuses < 5 {
+			t.Errorf("pool reused %d times over 6 sequential runs, want >= 5", reuses)
+		}
+	}
+}
+
+// TestContextPoolResultsAreIsolated: results handed out by the pool must
+// not alias the context's reusable buffers — a later run through the same
+// pool cannot corrupt an earlier result.
+func TestContextPoolResultsAreIsolated(t *testing.T) {
+	wl, err := trace.Lookup("black")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Cores: 2, RequestsPerCore: 10_000, Workload: wl,
+		Scheme:    sim.SchemeSpec{Kind: mitigation.KindDRCAT, Counters: 64, MaxLevels: 11},
+		Threshold: 512, ThresholdScale: 0.03, IntervalNS: 2e6, Seed: 7,
+		EpochNS: 1e5,
+	}
+	pool := NewContextPool()
+	first, err := pool.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := append([]int64(nil), first.PerBankActs...)
+	cfg.Seed = 8
+	if _, err := pool.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, first.PerBankActs) {
+		t.Error("a later pooled run mutated an earlier result's PerBankActs")
+	}
+}

@@ -30,7 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"catsim/internal/sim"
+	"catsim/internal/runner"
 )
 
 // ErrBadOptions marks a New failure caused by invalid Options — a usage
@@ -69,7 +69,11 @@ type Server struct {
 	// resume holds snapshot-restored jobs awaiting re-enqueue at Start.
 	resume []*Job
 
-	mux        *http.ServeMux
+	mux *http.ServeMux
+	// contexts pools reusable run contexts across the worker pool, so a
+	// worker draining a queue of same-shape jobs (a seed sweep, say)
+	// rewinds its warm component stack instead of rebuilding it per job.
+	contexts   *runner.ContextPool
 	engineRuns atomic.Int64
 	closing    atomic.Bool
 	quit       chan struct{}
@@ -97,7 +101,7 @@ func New(o Options) (*Server, error) {
 	if o.SnapshotInterval == 0 {
 		o.SnapshotInterval = 30 * time.Second
 	}
-	s := &Server{opts: o, store: newStore(), quit: make(chan struct{})}
+	s := &Server{opts: o, store: newStore(), contexts: runner.NewContextPool(), quit: make(chan struct{})}
 	if o.SnapshotPath != "" {
 		if _, err := os.Stat(o.SnapshotPath); err == nil {
 			if err := s.loadSnapshot(o.SnapshotPath); err != nil {
@@ -183,6 +187,11 @@ func (s *Server) Close(ctx context.Context) error {
 // POST of an identical job must not move it.
 func (s *Server) EngineRuns() int64 { return s.engineRuns.Load() }
 
+// ContextStats reports the run-context pool counters: how many engine
+// runs built a fresh context stack versus reusing a pooled one. Under a
+// homogeneous job stream (seed sweeps), reuses should dominate.
+func (s *Server) ContextStats() (builds, reuses int64) { return s.contexts.Stats() }
+
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
@@ -210,7 +219,7 @@ func (s *Server) runJob(j *Job) {
 	cfg := j.cfg
 	cfg.OnSample = j.appendSample
 	s.engineRuns.Add(1)
-	res, err := sim.Run(cfg)
+	res, err := s.contexts.Run(cfg)
 	if err != nil {
 		s.logf("job %s failed: %v", j.ID, err)
 		j.fail(err.Error())
@@ -354,10 +363,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	builds, reuses := s.ContextStats()
 	writeJSON(w, http.StatusOK, map[string]int64{
-		"jobs":        int64(len(s.store.jobs())),
-		"engine_runs": s.EngineRuns(),
-		"queued":      int64(len(s.queue)),
+		"jobs":           int64(len(s.store.jobs())),
+		"engine_runs":    s.EngineRuns(),
+		"queued":         int64(len(s.queue)),
+		"context_builds": builds,
+		"context_reuses": reuses,
 	})
 }
 

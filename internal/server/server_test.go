@@ -186,6 +186,32 @@ func TestJobLifecycle(t *testing.T) {
 	if got.State != "done" || got.Samples != len(samples) {
 		t.Errorf("status after completion = %+v", got)
 	}
+
+	// A second job differing only in seed lands on the same worker
+	// (Workers: 1) and must reuse its pooled run context instead of
+	// building a fresh component stack — observable through /v1/stats.
+	next := testJob()
+	next.Seed = 8
+	st2 := submit(t, ts, next, http.StatusAccepted)
+	if _, res2, _ := parseStream(t, streamBody(t, ts, st2.ID)); res2 == nil {
+		t.Fatal("second job did not complete")
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["engine_runs"] != 2 || stats["jobs"] != 2 {
+		t.Errorf("stats after two jobs = %v, want engine_runs=2 jobs=2", stats)
+	}
+	if stats["context_builds"] < 1 || stats["context_reuses"] < 1 {
+		t.Errorf("context pool stats = builds %d, reuses %d; want at least one build and one reuse",
+			stats["context_builds"], stats["context_reuses"])
+	}
 }
 
 // TestRepeatPostServedFromCache: an identical job POSTed twice — even

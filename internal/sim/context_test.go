@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"catsim/internal/dram"
+	"catsim/internal/mitigation"
+	"catsim/internal/trace"
+	"catsim/internal/workload"
+)
+
+// contextCase builds one cell of the reuse matrix: a scheme kind on one
+// engine path (sequential or channel-sharded) driving one workload shape
+// (closed-loop, mixed open-loop, or trace replay).
+func contextCase(t *testing.T, kind mitigation.Kind, sharded bool, shape string) (Config, bool) {
+	t.Helper()
+	wl, err := trace.Lookup("black")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SchemeSpec{Kind: kind}
+	switch kind {
+	case mitigation.KindNone, mitigation.KindPRA:
+	case mitigation.KindPRCAT, mitigation.KindDRCAT:
+		spec.Counters, spec.MaxLevels = 64, 11
+	default:
+		spec.Counters = 64
+	}
+	cfg := Config{
+		Geometry:        dram.Default2Channel(),
+		Cores:           4,
+		RequestsPerCore: 2000,
+		Workload:        wl,
+		Scheme:          spec,
+		Threshold:       64,
+		EpochNS:         20_000,
+		Seed:            11,
+		CheckProtection: true,
+		// Small enough that the scaled victim-refresh cost rounds to zero:
+		// SetVictimRowCycles(0) must still be applied (it clamps to the
+		// 1-cycle floor), on rebuild and reuse alike.
+		ThresholdScale: 0.01,
+	}
+	if sharded {
+		cfg.Shards = 2
+		cfg.ChannelAffine = true
+	}
+	switch shape {
+	case "closed":
+		// Attack blend plus a delayed onset, so the reuse path has to
+		// rewind the whole generator stack (synthetic, attack, phase
+		// switch), not just the synthetic stream.
+		cfg.Attack = &AttackConfig{Kernel: 1, Mode: trace.Heavy, Pattern: trace.PatternDoubleSided}
+		cfg.AttackOnsetFrac = 0.25
+	case "open":
+		ol, err := workload.Lookup("ol-mixed-attack")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ol.Requests = 4000
+		cfg.OpenLoop = &ol
+	case "replay":
+		if sharded {
+			// Replay streams replay exactly as captured; ChannelAffine (and
+			// therefore sharding) is rejected by validation.
+			return Config{}, false
+		}
+		src := cfg
+		container, err := Capture(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cores, cfg.RequestsPerCore = 0, 0
+		cfg.Workload = trace.Spec{}
+		cfg.Replay = container
+	}
+	return cfg, true
+}
+
+// TestContextReuseByteIdentical is the run-context contract: for every
+// scheme kind, engine path and workload shape, a Context whose state was
+// dirtied by an interleaved different-seed run must return the
+// byte-identical Result a fresh package-level Run produces — DeepEqual on
+// the struct and byte-equal JSON.
+func TestContextReuseByteIdentical(t *testing.T) {
+	for _, kind := range mitigation.Kinds() {
+		for _, sharded := range []bool{false, true} {
+			for _, shape := range []string{"closed", "open", "replay"} {
+				name := kind.String() + "/"
+				if sharded {
+					name += "sharded/"
+				} else {
+					name += "seq/"
+				}
+				name += shape
+				t.Run(name, func(t *testing.T) {
+					cfg, ok := contextCase(t, kind, sharded, shape)
+					if !ok {
+						t.Skip("invalid combination")
+					}
+					want, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					ctx := NewContext()
+					first, err := ctx.Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					first = first.Clone()
+					if !reflect.DeepEqual(want, first) {
+						t.Fatalf("fresh context differs from Run:\n got %+v\nwant %+v", first, want)
+					}
+
+					// Dirty every reusable layer with a different seed, then
+					// demand the original seed back byte-for-byte.
+					other := cfg
+					other.Seed = 12
+					if _, err := ctx.Run(other); err != nil {
+						t.Fatal(err)
+					}
+					reused, err := ctx.Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					reused = reused.Clone()
+					if !reflect.DeepEqual(want, reused) {
+						t.Fatalf("reused context differs from Run:\n got %+v\nwant %+v", reused, want)
+					}
+					wj, err := json.Marshal(want)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rj, err := json.Marshal(reused)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(wj, rj) {
+						t.Fatalf("reused context JSON differs:\n got %s\nwant %s", rj, wj)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestContextShapeChangeRebuilds locks the other half of the contract: a
+// context fed a different shape (scheme, threshold, workload, geometry)
+// mid-sequence still matches fresh runs for every step.
+func TestContextShapeChangeRebuilds(t *testing.T) {
+	base, _ := contextCase(t, mitigation.KindDRCAT, false, "closed")
+	steps := []Config{base}
+
+	shifted := base
+	shifted.Threshold = 128
+	steps = append(steps, shifted)
+
+	otherScheme := base
+	otherScheme.Scheme = SchemeSpec{Kind: mitigation.KindCoMeT, Counters: 64, Ways: 4}
+	steps = append(steps, otherScheme)
+
+	otherWL, err := trace.Lookup("comm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherStreams := base
+	otherStreams.Workload = otherWL
+	otherStreams.Attack = nil
+	otherStreams.AttackOnsetFrac = 0
+	steps = append(steps, otherStreams)
+
+	steps = append(steps, base) // and back
+
+	ctx := NewContext()
+	for i, cfg := range steps {
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		got, err := ctx.Run(cfg)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if got = got.Clone(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("step %d: context result differs from fresh Run", i)
+		}
+	}
+}
+
+// TestContextSteadyStateAllocs pins the zero-alloc reuse property on the
+// closed-loop sweep path: after warmup, a repeated same-shape run through
+// one context must not allocate on the hot path. A small fixed tolerance
+// absorbs runtime noise (timer/GC bookkeeping), not per-run growth.
+func TestContextSteadyStateAllocs(t *testing.T) {
+	cfg, _ := contextCase(t, mitigation.KindDRCAT, false, "closed")
+	cfg.CheckProtection = false
+	cfg.EpochNS = 0
+	ctx := NewContext()
+	seed := uint64(1)
+	run := func() {
+		cfg.Seed = seed
+		seed++
+		if _, err := ctx.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // build
+	run() // settle slab growth
+	if allocs := testing.AllocsPerRun(10, run); allocs > 2 {
+		t.Errorf("steady-state context run allocates %.1f times per run, want <= 2", allocs)
+	}
+}

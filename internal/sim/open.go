@@ -36,6 +36,30 @@ func (c *Config) openConfig() workload.Config {
 	return ol
 }
 
+// closedStream is core i's generator stack with every resettable layer
+// exposed: run contexts rewind the synthetic stream, attack blend and
+// phase switch in place to replay a different seed without rebuilding
+// (attack target tables are run-seed-independent, so they survive reuse).
+type closedStream struct {
+	idx    int // global core index (seed offset, affine channel)
+	syn    *trace.Synthetic
+	attack *trace.Attack // nil without an attack blend
+	phased *trace.Phased // nil without an onset delay
+	gen    trace.Generator
+}
+
+// reseed rewinds every layer of the stack to the state closedStream(cfg
+// with the given seed) would build.
+func (cs *closedStream) reseed(seed uint64) {
+	cs.syn.Reseed(seed + uint64(cs.idx)*0x1000193)
+	if cs.attack != nil {
+		cs.attack.Reset()
+	}
+	if cs.phased != nil {
+		cs.phased.Reset()
+	}
+}
+
 // closedGen builds core i's request generator: the synthetic workload
 // stream, optionally wrapped in the kernel-attack blend, the
 // onset-delaying phase switch, and — under ChannelAffine — the
@@ -43,37 +67,54 @@ func (c *Config) openConfig() workload.Config {
 // pinned too, and so Capture records the pinned addresses: a captured
 // affine run replays byte-identically without re-pinning.
 func (c *Config) closedGen(policy addrmap.Policy, i int) (trace.Generator, error) {
+	cs, err := c.closedStream(policy, i)
+	if err != nil {
+		return nil, err
+	}
+	return cs.gen, nil
+}
+
+// closedStream builds core i's generator stack, keeping a handle on each
+// resettable layer (see closedStream the type).
+func (c *Config) closedStream(policy addrmap.Policy, i int) (closedStream, error) {
 	spec := c.Workload
 	if c.WorkloadPerCore != nil {
 		spec = c.WorkloadPerCore[i]
 	}
+	cs := closedStream{idx: i}
 	syn, err := trace.NewSynthetic(spec, c.Geometry.TotalBytes(),
 		c.Geometry.LineBytes, c.Seed+uint64(i)*0x1000193)
 	if err != nil {
-		return nil, err
+		return cs, err
 	}
+	cs.syn = syn
 	var gen trace.Generator = syn
 	if c.Attack != nil {
-		gen, err = trace.NewAttackPattern(c.Attack.Kernel, c.Attack.Mode,
+		attack, err := trace.NewAttackPattern(c.Attack.Kernel, c.Attack.Mode,
 			c.Attack.Pattern, c.Geometry, policy, syn)
 		if err != nil {
-			return nil, err
+			return cs, err
 		}
+		cs.attack = attack
+		gen = attack
 		if c.AttackOnsetFrac > 0 {
 			// The benign prefix draws from the plain synthetic stream; the
 			// blend (which wraps the same stream) takes over at the onset
 			// point.
 			onset := int64(c.AttackOnsetFrac * float64(c.RequestsPerCore))
-			gen, err = trace.NewPhased(onset, syn, gen)
+			phased, err := trace.NewPhased(onset, syn, attack)
 			if err != nil {
-				return nil, err
+				return cs, err
 			}
+			cs.phased = phased
+			gen = phased
 		}
 	}
 	if c.ChannelAffine {
 		gen = &affineGen{gen: gen, policy: policy, ch: i % c.Geometry.Channels}
 	}
-	return gen, nil
+	cs.gen = gen
+	return cs, nil
 }
 
 // buildStreams assembles the engine-facing request sources — core slots,

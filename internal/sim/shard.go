@@ -149,7 +149,8 @@ func runSharded(cfg Config) (Result, error) {
 		stats = stats.Add(ctrls[i].Stats())
 		counts = counts.Add(schemes[i].Counts())
 	}
-	res, err := cfg.deriveResult(er, counts, schemes[0].Kind(), schemes[0].CountersPerBank(), stats)
+	res, err := cfg.deriveResult(er, counts, schemes[0].Kind(), schemes[0].CountersPerBank(), stats,
+		cfg.Scheme.Label(cfg.Threshold))
 	if err != nil {
 		return Result{}, err
 	}

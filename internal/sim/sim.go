@@ -58,17 +58,39 @@ const (
 	dsacSeedMix  = 0xD5AC0D5AC0
 )
 
+// schemeSeed resolves the seed one scheme family's private PRNG stream
+// derives from: the user-pinned SpecSeed verbatim, or the run seed xor
+// the family constant.
+func (s SchemeSpec) schemeSeed(seed, mix uint64) uint64 {
+	if s.SpecSeed != 0 {
+		return s.SpecSeed
+	}
+	return seed ^ mix
+}
+
+// runSeed returns the seed value Spec threads into the scheme's "seed"
+// param for a run with the given run seed — the value a reused scheme's
+// mitigation.Resettable.ResetRun must receive so its PRNG streams replay
+// exactly what a fresh build would draw. Kinds without a private PRNG
+// ignore the value.
+func (s SchemeSpec) runSeed(seed uint64) uint64 {
+	switch s.Kind {
+	case mitigation.KindPRA:
+		return s.schemeSeed(seed, praSeedMix)
+	case mitigation.KindCoMeT:
+		return s.schemeSeed(seed, cometSeedMix)
+	case mitigation.KindStochastic:
+		return s.schemeSeed(seed, dsacSeedMix)
+	}
+	return seed
+}
+
 // Spec converts the grid unit into the serializable registry spec for one
 // refresh threshold, threading the run seed into the per-family PRNG
 // streams (SpecSeed overrides it verbatim when a user pinned "seed=").
 func (s SchemeSpec) Spec(threshold uint32, seed uint64) mitigation.SchemeSpec {
 	spec := mitigation.SchemeSpec{Kind: s.Kind, Threshold: threshold, Params: mitigation.Params{}}
-	schemeSeed := func(mix uint64) uint64 {
-		if s.SpecSeed != 0 {
-			return s.SpecSeed
-		}
-		return seed ^ mix
-	}
+	schemeSeed := func(mix uint64) uint64 { return s.schemeSeed(seed, mix) }
 	switch s.Kind {
 	case mitigation.KindNone:
 		return mitigation.SchemeSpec{Kind: mitigation.KindNone}
@@ -489,7 +511,8 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := cfg.deriveResult(er, scheme.Counts(), scheme.Kind(), scheme.CountersPerBank(), ctrl.Stats())
+	res, err := cfg.deriveResult(er, scheme.Counts(), scheme.Kind(), scheme.CountersPerBank(), ctrl.Stats(),
+		cfg.Scheme.Label(cfg.Threshold))
 	if err != nil {
 		return Result{}, err
 	}
@@ -513,9 +536,10 @@ func Run(cfg Config) (Result, error) {
 // reported Result. Both run paths use it: the sequential path hands it one
 // controller's stats and one scheme's counts, the sharded path the sums
 // over its per-channel partitions — the expressions are shared so the two
-// paths agree bit for bit.
+// paths agree bit for bit. label is the scheme's figure label (passed in
+// so run contexts can cache the formatted string across a sweep).
 func (c *Config) deriveResult(er engine.Result, counts mitigation.Counts, kind mitigation.Kind,
-	countersPerBank int, stats memctrl.Stats) (Result, error) {
+	countersPerBank int, stats memctrl.Stats, label string) (Result, error) {
 	cpuNS := 1000.0 / (float64(c.Timing.BusMHz) * float64(c.CPUPerBus))
 	execNS := float64(er.EndCPU) * cpuNS
 	banks := c.Geometry.TotalBanks()
@@ -542,9 +566,26 @@ func (c *Config) deriveResult(er engine.Result, counts mitigation.Counts, kind m
 		AvgReadLatencyNS: avgLat,
 		VictimBusyFrac:   float64(stats.VictimRefreshBusy) * busNS / (float64(banks) * execNS),
 		PerBankActs:      er.PerBankActs,
-		SchemeLabel:      c.Scheme.Label(c.Threshold),
+		SchemeLabel:      label,
 		Epochs:           er.Samples,
 	}, nil
+}
+
+// Clone deep-copies the slices a Result carries, detaching it from any
+// run-context scratch memory it may alias. Results returned by Run own
+// their memory already; results from Context.Run alias the context and
+// must be cloned before the context's next run if they are retained.
+func (r Result) Clone() Result {
+	if r.PerBankActs != nil {
+		r.PerBankActs = append([]int64(nil), r.PerBankActs...)
+	}
+	if r.Epochs != nil {
+		r.Epochs = append([]EpochSample(nil), r.Epochs...)
+	}
+	if r.Tenants != nil {
+		r.Tenants = append([]workload.TenantStat(nil), r.Tenants...)
+	}
+	return r
 }
 
 // PairResult reports a scheme run against its no-mitigation baseline.

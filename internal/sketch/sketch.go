@@ -124,3 +124,15 @@ func (c *CountMin) Reset() {
 		c.counters[i] = 0
 	}
 }
+
+// Reseed zeroes every counter and re-derives the per-depth hash seeds
+// exactly as NewCountMin(width, depth, seed) would, without allocating.
+// Run contexts use it to rewind a sketch for a run with a new seed.
+func (c *CountMin) Reseed(seed uint64) {
+	c.Reset()
+	s := seed
+	for d := range c.seeds {
+		s = splitmix64(s)
+		c.seeds[d] = s
+	}
+}

@@ -97,6 +97,7 @@ type Attack struct {
 	cursor  int        // deterministic walk for many/sweep
 	pending int64      // second half of a double-sided pair (-1 = none)
 	src     *rng.Xoshiro256
+	src0    rng.Xoshiro256 // post-construction RNG state, for Reset
 	benign  Generator
 }
 
@@ -212,7 +213,21 @@ func NewAttackPattern(kernel int, mode AttackMode, pattern Pattern, g dram.Geome
 	default:
 		return nil, fmt.Errorf("trace: unknown attack pattern %v", pattern)
 	}
+	// Target selection above consumed draws; capture the stream here so
+	// Reset can rewind emission without repeating construction.
+	a.src0 = *src
 	return a, nil
+}
+
+// Reset rewinds the attack's emission state — the blend RNG, the
+// deterministic walk cursor and any pending pair half — to just after
+// construction. Target sets depend only on (kernel, pattern, geometry),
+// never on the run seed, so a reset attack replays identically; the
+// wrapped benign generator is reset separately by its owner.
+func (a *Attack) Reset() {
+	*a.src = a.src0
+	a.cursor = 0
+	a.pending = -1
 }
 
 func clampRow(r, lo, hi int) int {

@@ -29,6 +29,10 @@ func NewPhased(switchAfter int64, early, late Generator) (*Phased, error) {
 	return &Phased{early: early, late: late, switchAfter: switchAfter}, nil
 }
 
+// Reset rewinds the stream to its first request; the phase generators
+// are reset separately by their owner.
+func (p *Phased) Reset() { p.emitted = 0 }
+
 // Name implements Generator.
 func (p *Phased) Name() string {
 	return fmt.Sprintf("%s->%s@%d", p.early.Name(), p.late.Name(), p.switchAfter)

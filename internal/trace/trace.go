@@ -107,6 +107,7 @@ type Synthetic struct {
 	lineBytes int64
 	footBase  int64 // footprint start (line aligned)
 	footLines int64 // footprint length in lines
+	maxBase   int64 // highest footprint start (for Reseed's redraw)
 	hotCenter []int64
 	hotCum    []float64 // cumulative Zipf-like weights
 	sweepLine int64
@@ -137,9 +138,9 @@ func NewSynthetic(spec Spec, totalBytes int64, lineBytes int, seed uint64) (*Syn
 	if g.footLines > totalLines {
 		g.footLines = totalLines
 	}
-	maxBase := totalLines - g.footLines
-	if maxBase > 0 {
-		g.footBase = int64(rng.Float64(g.src) * float64(maxBase))
+	g.maxBase = totalLines - g.footLines
+	if g.maxBase > 0 {
+		g.footBase = int64(rng.Float64(g.src) * float64(g.maxBase))
 	}
 	zipf := spec.ZipfS
 	if zipf == 0 {
@@ -158,6 +159,26 @@ func NewSynthetic(spec Spec, totalBytes int64, lineBytes int, seed uint64) (*Syn
 	}
 	g.sweepLine = g.randomFootprintLine()
 	return g, nil
+}
+
+// Reseed rewinds the generator to the state NewSynthetic would produce
+// for the same spec and memory size with the given seed, without
+// allocating: the RNG restarts and the footprint base, hot-spot centres
+// and sweep pointer are redrawn in construction order (the Zipf weights
+// depend only on the spec and stand). Run contexts use it to reuse
+// generators across seed-sweep runs.
+func (g *Synthetic) Reseed(seed uint64) {
+	g.src.Seed(seed)
+	g.footBase = 0
+	if g.maxBase > 0 {
+		g.footBase = int64(rng.Float64(g.src) * float64(g.maxBase))
+	}
+	for i := range g.hotCenter {
+		g.hotCenter[i] = g.randomFootprintLine()
+	}
+	g.sweepLine = g.randomFootprintLine()
+	g.accesses = 0
+	g.nextDrift = 0
 }
 
 // Name implements Generator.

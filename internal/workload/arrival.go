@@ -282,6 +282,27 @@ func newProcess(spec ArrivalSpec, cyclesPerNS float64, seed uint64) *process {
 	return p
 }
 
+// reset rewinds the process to the state newProcess(spec, cyclesPerNS,
+// seed) would produce, without allocating: the RNG restarts and the
+// per-kind state machine re-initialises in construction order (Bursty
+// draws its first burst length at construction, so reset replays that
+// draw).
+func (p *process) reset(seed uint64) {
+	p.src.Seed(seed)
+	p.now = 0
+	p.on = false
+	p.stateEnd = 0
+	p.phase = 0
+	p.phaseEnd = 0
+	switch p.spec.Kind {
+	case Bursty:
+		p.on = true
+		p.stateEnd = p.exp(p.meanOn)
+	case Diurnal:
+		p.phaseEnd = p.spec.Phases[0].DurationNS * p.cyclesPerNS
+	}
+}
+
 // exp draws an exponential with the given mean (cycles).
 func (p *process) exp(mean float64) float64 {
 	// 1-Float64 is in (0, 1], so the log is finite.

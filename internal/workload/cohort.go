@@ -271,6 +271,30 @@ func NewCohort(spec CohortSpec, geom dram.Geometry, policy addrmap.Policy, seed 
 	return c, nil
 }
 
+// Reset rewinds the cohort to the state NewCohort would produce for the
+// same (spec, geometry, policy) with the given seed, without allocating:
+// the span layout and selection tables are seed-independent arithmetic
+// and stand; the selector and per-party streams re-seed with the same
+// formulas construction uses; the attacker's emission state rewinds; and
+// the attribution counters zero. Run contexts use it to reuse cohorts
+// across seed-sweep runs.
+func (c *Cohort) Reset(seed uint64) {
+	c.pick.Seed(seed ^ pickSeedMix)
+	for k := range c.streams {
+		c.streams[k].Seed(seed ^ tenantSeedMix ^ (uint64(k)+1)*0x9E3779B97F4A7C15)
+	}
+	if a, ok := c.attack.(*trace.Attack); ok {
+		a.Reset()
+	}
+	c.mix = 0
+	for i := range c.acts {
+		c.acts[i] = 0
+		c.refreshed[i] = 0
+	}
+	c.otherActs = 0
+	c.otherRef = 0
+}
+
 // Parties returns the number of tenants including the attacker.
 func (c *Cohort) Parties() int { return len(c.spanLo) }
 

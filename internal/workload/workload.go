@@ -98,6 +98,19 @@ type Runtime struct {
 	Counts []int
 }
 
+// Reset rewinds a built runtime to the state Build would produce for the
+// same config, geometry and policy with the given seed, without
+// allocating: the cohort and every source's arrival process re-seed in
+// place with the formulas Build uses. Request budgets (Counts) are
+// config-determined and stand. Run contexts use it to reuse open-loop
+// runtimes across seed-sweep runs.
+func (rt *Runtime) Reset(seed uint64) {
+	rt.Cohort.Reset(seed)
+	for i, s := range rt.Sources {
+		s.proc.reset(seed ^ arrivalSeedMix ^ (uint64(i)+1)*0x2545F4914F6CDD1D)
+	}
+}
+
 // Build instantiates the workload for a geometry and mapping policy.
 // cyclesPerNS converts the spec's nanosecond rates into the engine's CPU
 // cycles. Building draws no randomness, so a replay run can rebuild the
